@@ -1,0 +1,79 @@
+// Example: the paper's motivating workload (section 4.1) — an iterative
+// linear equation solver — run under each coherence scheme.
+//
+//   $ ./linear_solver [n_processors] [iterations]
+//
+// Demonstrates: READ-UPDATE turning every steady-state x-vector read into a
+// local hit, WRITE-GLOBAL + buffered consistency overlapping the publish
+// with computation, and the false-sharing cost of the colocated layout
+// under invalidation coherence.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/machine.hpp"
+#include "workload/linear_solver.hpp"
+
+using namespace bcsim;
+
+namespace {
+
+struct Outcome {
+  Tick completion;
+  std::uint64_t messages;
+  std::uint64_t flits;
+  double residual;
+  bool exact;
+};
+
+Outcome run(const core::MachineConfig& cfg, bool separate_x, std::uint32_t iterations) {
+  core::Machine m(cfg);
+  workload::LinearSolverConfig sc;
+  sc.iterations = iterations;
+  sc.separate_x_blocks = separate_x;
+  workload::LinearSolverWorkload w(m, sc);
+  w.spawn_all(m);
+  const Tick t = m.run();
+  return {t, m.stats().counter_value("net.messages"), m.stats().counter_value("net.flits"),
+          w.residual(m), w.solution(m) == w.reference()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 16;
+  const std::uint32_t iters = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 12;
+
+  core::MachineConfig ru;
+  ru.n_nodes = n;
+  ru.data_protocol = core::DataProtocol::kReadUpdate;
+  ru.consistency = core::Consistency::kBuffered;
+  ru.lock_impl = core::LockImpl::kCbl;
+  ru.barrier_impl = core::BarrierImpl::kCbl;
+
+  core::MachineConfig wbi;
+  wbi.n_nodes = n;
+
+  std::printf("Jacobi solver, %u unknowns/processors, %u iterations\n\n", n, iters);
+  std::printf("%-24s%14s%12s%12s%12s %s\n", "scheme", "cycles", "messages", "flits",
+              "residual", "bit-exact");
+  struct Case {
+    const char* name;
+    const core::MachineConfig& cfg;
+    bool separate;
+  } cases[] = {
+      {"read-update (paper)", ru, false},
+      {"WBI inv-I (colocated)", wbi, false},
+      {"WBI inv-II (separate)", wbi, true},
+  };
+  for (const auto& c : cases) {
+    const auto o = run(c.cfg, c.separate, iters);
+    std::printf("%-24s%14llu%12llu%12llu%12.2e %s\n", c.name,
+                static_cast<unsigned long long>(o.completion),
+                static_cast<unsigned long long>(o.messages),
+                static_cast<unsigned long long>(o.flits), o.residual,
+                o.exact ? "yes" : "NO");
+  }
+  std::printf("\nAll three schemes compute bit-identical answers; they differ only in\n"
+              "how much of the machine they burn doing it (paper Table 2).\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Example: reader-initiated coherence as a publish/subscribe fabric.
+//
+//   $ ./producer_consumer
+//
+// A producer updates a block of "sensor readings" with WRITE-GLOBAL every
+// few hundred cycles. Consumers subscribe with READ-UPDATE: after the
+// first fetch, every new reading is pushed to them down the subscriber
+// chain, and their reads are local cache hits. Halfway through, half the
+// consumers lose interest and RESET-UPDATE; the message counts show the
+// chain shrinking — the selectivity that write-update protocols lack
+// (paper section 4.1).
+#include <cstdio>
+#include <deque>
+
+#include "core/machine.hpp"
+
+using namespace bcsim;
+
+namespace {
+
+constexpr std::uint32_t kConsumers = 6;
+constexpr int kRounds = 20;
+
+struct Producer {
+  Addr block;
+  sim::Task operator()(core::Processor& p) const {
+    for (int r = 1; r <= kRounds; ++r) {
+      co_await p.compute(300);
+      // Checksum first: update chains from the same home are delivered in
+      // order, so when a consumer observes reading r, checksum r^2 has
+      // already arrived.
+      co_await p.write_global(block + 1, static_cast<Word>(r * r));  // checksum
+      co_await p.write_global(block, static_cast<Word>(r));          // reading
+      co_await p.flush_buffer();
+    }
+  }
+};
+
+struct Consumer {
+  Addr block;
+  bool fickle;  // unsubscribes after half the rounds
+  std::uint64_t* local_hits;
+  sim::Task operator()(core::Processor& p) const {
+    Word last = co_await p.read_update(block);  // subscribe + first fetch
+    const int until = fickle ? kRounds / 2 : kRounds;
+    while (static_cast<int>(last) < until) {
+      co_await p.wait_word_change(block, last);
+      const Tick t0 = p.simulator().now();
+      const Word v = co_await p.read_update(block);  // local hit: pushed to us
+      if (p.simulator().now() - t0 == 1) ++*local_hits;
+      if (v == last) continue;  // spurious: another word of the block changed
+      last = v;
+      // The producer publishes the checksum before the reading and update
+      // chains from one home are delivered in order, so this never tears.
+      const Word check = co_await p.read(block + 1);
+      if (check != last * last) {
+        std::printf("consumer %u: TORN read at round %llu!\n", p.id(),
+                    static_cast<unsigned long long>(last));
+      }
+    }
+    if (fickle) co_await p.reset_update(block);
+  }
+};
+
+}  // namespace
+
+int main() {
+  core::MachineConfig cfg;
+  cfg.n_nodes = kConsumers + 1;
+  cfg.data_protocol = core::DataProtocol::kReadUpdate;
+  cfg.consistency = core::Consistency::kBuffered;
+  cfg.lock_impl = core::LockImpl::kCbl;
+  cfg.barrier_impl = core::BarrierImpl::kCbl;
+  core::Machine m(cfg);
+
+  auto alloc = m.make_allocator();
+  const Addr block = alloc.alloc_blocks(1);
+
+  std::uint64_t local_hits = 0;
+  Producer prod{block};
+  m.spawn(prod(m.processor(0)));
+  std::deque<Consumer> consumers;
+  for (NodeId i = 1; i <= kConsumers; ++i) {
+    consumers.push_back(Consumer{block, /*fickle=*/i % 2 == 0, &local_hits});
+    m.spawn(consumers.back()(m.processor(i)));
+  }
+
+  const Tick t = m.run();
+  std::printf("done in %llu cycles\n", static_cast<unsigned long long>(t));
+  std::printf("consumer reads served locally (pushed updates): %llu\n",
+              static_cast<unsigned long long>(local_hits));
+  std::printf("chained update deliveries: %llu across %llu propagations\n",
+              static_cast<unsigned long long>(
+                  m.stats().counter_value("cache.ru_updates_received")),
+              static_cast<unsigned long long>(
+                  m.stats().counter_value("dir.ru_propagations")));
+  std::printf("unsubscribes honored by the directory: %llu\n",
+              static_cast<unsigned long long>(m.stats().counter_value("dir.reset_update")));
+  std::printf("\nEvery reading beyond the first arrived without the consumer asking —\n"
+              "reader-initiated coherence is subscription, not polling.\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Reproduce every result in EXPERIMENTS.md: build, run the full test
+# suite, and regenerate every table/figure/ablation into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+ctest --test-dir build -j"$(nproc)" 2>&1 | tee results/tests.txt
+
+for b in build/bench/*; do
+  name="$(basename "$b")"
+  echo "== $name =="
+  "$b" 2>&1 | tee "results/${name}.txt"
+done
+
+echo
+echo "All outputs in results/. Compare against EXPERIMENTS.md."

@@ -1,0 +1,52 @@
+#include "analytic/network_model.hpp"
+
+#include <bit>
+#include <limits>
+
+namespace bcsim::analytic {
+
+std::uint32_t OmegaModel::stages() const noexcept {
+  const std::uint32_t n = n_nodes < 2 ? 2 : n_nodes;
+  return static_cast<std::uint32_t>(std::bit_width(std::bit_ceil(n) - 1));
+}
+
+double OmegaModel::base_latency() const noexcept {
+  return stages() * switch_delay + (service - 1.0);
+}
+
+double OmegaModel::stage_wait(double rho) const noexcept {
+  if (rho <= 0.0) return 0.0;
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  return rho * service / (2.0 * (1.0 - rho));
+}
+
+double OmegaModel::latency(double rho) const noexcept {
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  return stages() * (switch_delay + stage_wait(rho)) + (service - 1.0);
+}
+
+double OmegaModel::hotspot_rho(double rho, double hot) const noexcept {
+  return rho * (hot * n_nodes + (1.0 - hot));
+}
+
+double OmegaModel::hotspot_saturation(double hot) const noexcept {
+  return 1.0 / (hot * n_nodes + (1.0 - hot));
+}
+
+double OmegaModel::hotspot_latency(double rho, double hot) const noexcept {
+  const double rho_hot = hotspot_rho(rho, hot);
+  if (rho_hot >= 1.0) return std::numeric_limits<double>::infinity();
+  // The hot path's stages see geometrically combining load: stage j from
+  // the destination carries the traffic of 2^j leaves, capped at rho_hot.
+  double total = service - 1.0;
+  const std::uint32_t k = stages();
+  for (std::uint32_t j = 0; j < k; ++j) {
+    const double fan = static_cast<double>(1u << (k - 1 - j));  // leaves feeding stage j
+    double rho_j = rho * (hot * (static_cast<double>(n_nodes) / fan) + (1.0 - hot));
+    if (rho_j > rho_hot) rho_j = rho_hot;
+    total += switch_delay + stage_wait(rho_j < 0.0 ? 0.0 : rho_j);
+  }
+  return total;
+}
+
+}  // namespace bcsim::analytic

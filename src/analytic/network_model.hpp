@@ -1,0 +1,55 @@
+// Analytical latency model of the multistage Omega network, in the style
+// of the classic delta-network analyses the paper's evaluation leans on
+// (Pfister & Norton's hot-spot treatment, Kruskal/Snir-style stage
+// queueing). Used to sanity-check the simulator's contention behavior and
+// to let users size machines without running a simulation.
+//
+// Model: k = log2(N) stages of 2x2 switches; each output port is an
+// M/D/1-like queue with deterministic service time `s` (the message's flit
+// count) and per-port utilization rho. Under uniform random traffic every
+// port sees the same load; the expected waiting time per stage is the
+// M/D/1 result W = rho * s / (2 (1 - rho)), and the end-to-end latency is
+//
+//   L(rho) = k * (t_sw + W(rho)) + (s - 1).
+//
+// For hot-spot traffic (a fraction h of all messages target one module),
+// the saturation bound of Pfister & Norton applies: the hot module's input
+// link carries rho_hot = rho * (h * N + (1 - h)) — throughput saturates
+// when rho_hot reaches 1, at offered load 1 / (h N + 1 - h).
+#pragma once
+
+#include <cstdint>
+
+namespace bcsim::analytic {
+
+struct OmegaModel {
+  std::uint32_t n_nodes = 64;  ///< endpoints (rounded up to a power of two)
+  double switch_delay = 1.0;   ///< t_sw: header latency per stage
+  double service = 1.0;        ///< s: flits per message (port occupancy)
+
+  /// Number of stages k = ceil(log2(max(n_nodes, 2))).
+  [[nodiscard]] std::uint32_t stages() const noexcept;
+
+  /// Zero-load end-to-end latency (header through k stages + tail flits).
+  [[nodiscard]] double base_latency() const noexcept;
+
+  /// Expected per-stage queueing delay at utilization rho in [0, 1).
+  [[nodiscard]] double stage_wait(double rho) const noexcept;
+
+  /// Expected end-to-end latency under uniform traffic at utilization rho.
+  /// Returns +inf for rho >= 1 (saturated).
+  [[nodiscard]] double latency(double rho) const noexcept;
+
+  /// Effective utilization of the hottest link when a fraction `hot` of
+  /// the offered load `rho` targets a single module (Pfister-Norton).
+  [[nodiscard]] double hotspot_rho(double rho, double hot) const noexcept;
+
+  /// Offered load at which hot-spot traffic saturates the network.
+  [[nodiscard]] double hotspot_saturation(double hot) const noexcept;
+
+  /// Expected latency with a hot-spot fraction `hot` (the hottest path's
+  /// final stage dominates; earlier stages see tree-combined load).
+  [[nodiscard]] double hotspot_latency(double rho, double hot) const noexcept;
+};
+
+}  // namespace bcsim::analytic

@@ -1,0 +1,70 @@
+#include "analytic/table2.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bcsim::analytic {
+
+namespace {
+double ceil_div(std::uint32_t a, std::uint32_t b) {
+  return static_cast<double>((a + b - 1) / b);
+}
+}  // namespace
+
+SolverCosts solver_traffic(Scheme s, std::uint32_t n, std::uint32_t B,
+                           const CostConstants& c) {
+  if (n == 0 || B == 0) throw std::invalid_argument("solver costs: n and B must be positive");
+  const double dn = n;
+  SolverCosts out;
+  switch (s) {
+    case Scheme::kReadUpdate:
+      // initial: ceil(n/B) * C_B ; write: C_W + (n-1)||C_B ; read: —
+      out.initial_load = ceil_div(n, B) * c.c_block;
+      out.write = c.c_word + (dn - 1) * c.c_block;
+      out.read = 0.0;
+      break;
+    case Scheme::kInvColocated: {
+      // initial: ceil(n/B) * C_B
+      // write: (1/B)(C_R + (n-1)||C_I) + ((B-1)/B)(2C_R + 2C_B)
+      // read: (1/B)(ceil(n/B)-1)C_B + ((B-1)/B) ceil(n/B) C_B
+      const double fB = 1.0 / B;
+      out.initial_load = ceil_div(n, B) * c.c_block;
+      out.write = fB * (c.c_req + (dn - 1) * c.c_inv) +
+                  (1.0 - fB) * (2 * c.c_req + 2 * c.c_block);
+      out.read = fB * (ceil_div(n, B) - 1) * c.c_block +
+                 (1.0 - fB) * ceil_div(n, B) * c.c_block;
+      break;
+    }
+    case Scheme::kInvSeparate:
+      // initial: n C_B ; write: C_R + (n-1)||C_I ; read: (n-1) C_B
+      out.initial_load = dn * c.c_block;
+      out.write = c.c_req + (dn - 1) * c.c_inv;
+      out.read = (dn - 1) * c.c_block;
+      break;
+  }
+  return out;
+}
+
+SolverCosts solver_latency(Scheme s, std::uint32_t n, std::uint32_t B,
+                           const CostConstants& c) {
+  // Identical formulas with each p||transaction group counted once.
+  SolverCosts out = solver_traffic(s, n, B, c);
+  const double dn = n;
+  switch (s) {
+    case Scheme::kReadUpdate:
+      out.write = c.c_word + c.c_block;  // the n-1 block sends overlap
+      break;
+    case Scheme::kInvColocated: {
+      const double fB = 1.0 / B;
+      out.write = fB * (c.c_req + c.c_inv) + (1.0 - fB) * (2 * c.c_req + 2 * c.c_block);
+      break;
+    }
+    case Scheme::kInvSeparate:
+      out.write = c.c_req + c.c_inv;
+      break;
+  }
+  static_cast<void>(dn);
+  return out;
+}
+
+}  // namespace bcsim::analytic

@@ -1,0 +1,51 @@
+// Analytical cost model of paper Table 2: per-processor network traffic
+// for one iteration of the n-processor linear equation solver under three
+// coherence schemes — read-update, inv-I (x vector colocated), and inv-II
+// (one x element per block).
+//
+// Cost constants (paper notation): C_B block transfer, C_W word transfer,
+// C_I invalidation, C_R transaction carrying no data. `B` is the cache
+// line size in words. The paper's `p||transaction` notation (p transfers
+// proceeding in parallel) is captured twice: `traffic()` counts every
+// message (network load), `latency()` counts parallel groups once
+// (critical path).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bcsim::analytic {
+
+struct CostConstants {
+  double c_block = 6.0;  ///< C_B
+  double c_word = 2.0;   ///< C_W
+  double c_inv = 1.0;    ///< C_I
+  double c_req = 1.0;    ///< C_R
+};
+
+enum class Scheme { kReadUpdate, kInvColocated, kInvSeparate };
+
+[[nodiscard]] constexpr std::string_view to_string(Scheme s) noexcept {
+  switch (s) {
+    case Scheme::kReadUpdate: return "read-update";
+    case Scheme::kInvColocated: return "inv-I";
+    case Scheme::kInvSeparate: return "inv-II";
+  }
+  return "?";
+}
+
+struct SolverCosts {
+  double initial_load = 0;  ///< one-time, per processor
+  double write = 0;         ///< per iteration, per processor
+  double read = 0;          ///< per iteration, per processor (next iteration's reads)
+};
+
+/// Table 2 rows, counting every message (network traffic).
+[[nodiscard]] SolverCosts solver_traffic(Scheme s, std::uint32_t n, std::uint32_t B,
+                                         const CostConstants& c = {});
+
+/// Table 2 rows, counting parallel transfers once (latency view).
+[[nodiscard]] SolverCosts solver_latency(Scheme s, std::uint32_t n, std::uint32_t B,
+                                         const CostConstants& c = {});
+
+}  // namespace bcsim::analytic

@@ -1,0 +1,38 @@
+#include "analytic/table3.hpp"
+
+namespace bcsim::analytic {
+
+SyncCost wbi_cost(SyncScenario s, std::uint32_t n, const TimeConstants& t) {
+  const double dn = n;
+  switch (s) {
+    case SyncScenario::kParallelLock:
+      return {6 * dn * dn + 4 * dn,
+              dn * t.t_cs + 10 * dn * t.t_nw + dn * (dn + 1) / 2 * t.t_m +
+                  5 * dn * (5 * dn - 1) / 2 * t.t_d};
+    case SyncScenario::kSerialLock:
+      return {8, 8 * t.t_nw + 5 * t.t_d + t.t_m + t.t_cs};
+    case SyncScenario::kBarrierRequest:
+      return {18, 18 * t.t_nw + 12 * t.t_d};
+    case SyncScenario::kBarrierNotify:
+      return {5 * dn - 3, 4 * t.t_nw + (2 * dn - 1) * t.t_d};
+  }
+  return {};
+}
+
+SyncCost cbl_cost(SyncScenario s, std::uint32_t n, const TimeConstants& t) {
+  const double dn = n;
+  switch (s) {
+    case SyncScenario::kParallelLock:
+      return {6 * dn - 3,
+              dn * t.t_cs + (2 * dn + 1) * t.t_nw + (dn + 1) * t.t_d + t.t_m};
+    case SyncScenario::kSerialLock:
+      return {3, 3 * t.t_nw + t.t_d + t.t_cs};
+    case SyncScenario::kBarrierRequest:
+      return {2, 2 * (t.t_nw + t.t_m)};
+    case SyncScenario::kBarrierNotify:
+      return {dn, 2 * t.t_nw + (dn - 1) * t.t_d};
+  }
+  return {};
+}
+
+}  // namespace bcsim::analytic

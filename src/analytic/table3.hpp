@@ -1,0 +1,49 @@
+// Analytical cost model of paper Table 3: messages and time for executing
+// synchronization scenarios under WBI (spin locks on a write-back
+// invalidate cache) vs CBL (the cache-based queued lock).
+//
+// Scenarios: parallel lock (n processors request the same lock at once;
+// totals), serial lock (one uncontended acquire/release; per processor),
+// barrier request (per arriving processor), barrier notify (the last
+// arriver's release; totals).
+//
+// Time parameters (paper notation): t_nw network transit, t_cs time inside
+// the critical section, t_D directory/cache-directory check, t_m memory
+// block read.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bcsim::analytic {
+
+struct TimeConstants {
+  double t_nw = 6.0;  ///< network transit
+  double t_cs = 50.0; ///< critical section
+  double t_d = 1.0;   ///< directory check
+  double t_m = 4.0;   ///< memory block read
+};
+
+enum class SyncScenario { kParallelLock, kSerialLock, kBarrierRequest, kBarrierNotify };
+
+[[nodiscard]] constexpr std::string_view to_string(SyncScenario s) noexcept {
+  switch (s) {
+    case SyncScenario::kParallelLock: return "parallel lock";
+    case SyncScenario::kSerialLock: return "serial lock";
+    case SyncScenario::kBarrierRequest: return "barrier request";
+    case SyncScenario::kBarrierNotify: return "barrier notify";
+  }
+  return "?";
+}
+
+struct SyncCost {
+  double messages = 0;
+  double time = 0;
+};
+
+/// Paper Table 3, WBI column.
+[[nodiscard]] SyncCost wbi_cost(SyncScenario s, std::uint32_t n, const TimeConstants& t = {});
+/// Paper Table 3, CBL column.
+[[nodiscard]] SyncCost cbl_cost(SyncScenario s, std::uint32_t n, const TimeConstants& t = {});
+
+}  // namespace bcsim::analytic

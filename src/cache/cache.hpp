@@ -1,0 +1,58 @@
+// Set-associative data cache with LRU replacement.
+//
+// The cache stores *frames*; protocol state lives in the CacheLine. Victim
+// selection skips pinned frames (transaction in flight) and lock-active
+// frames (lock lines live in the separate LockCache anyway, but defense in
+// depth costs nothing). The caller owns what happens to the victim
+// (write-back of dirty words, reset-update notification).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cache/cache_line.hpp"
+#include "sim/types.hpp"
+
+namespace bcsim::cache {
+
+class Cache {
+ public:
+  /// `blocks` total frames, `assoc`-way associative. `blocks` must be a
+  /// multiple of `assoc`.
+  Cache(std::uint32_t blocks, std::uint32_t assoc);
+
+  /// Looks up the line caching `b`; nullptr on miss.
+  [[nodiscard]] CacheLine* find(BlockId b) noexcept;
+  [[nodiscard]] const CacheLine* find(BlockId b) const noexcept;
+
+  /// Picks a victim frame in b's set. Invalid frames first, then LRU among
+  /// unpinned, lock-inactive frames. Returns nullptr when every frame in
+  /// the set is unreplaceable (caller must stall and retry).
+  [[nodiscard]] CacheLine* pick_victim(BlockId b) noexcept;
+
+  /// Marks a use for LRU.
+  void touch(CacheLine& line, Tick now) noexcept { line.last_use = now; }
+
+  [[nodiscard]] std::uint32_t n_sets() const noexcept { return n_sets_; }
+  [[nodiscard]] std::uint32_t assoc() const noexcept { return assoc_; }
+
+  /// Iterates all valid lines (for invariant checks in tests).
+  template <typename Fn>
+  void for_each_valid(Fn&& fn) const {
+    for (const auto& line : frames_) {
+      if (line.valid) fn(line);
+    }
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t set_of(BlockId b) const noexcept {
+    return static_cast<std::uint32_t>(b % n_sets_);
+  }
+
+  std::uint32_t n_sets_;
+  std::uint32_t assoc_;
+  std::vector<CacheLine> frames_;  // set-major layout
+};
+
+}  // namespace bcsim::cache

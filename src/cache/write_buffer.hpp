@@ -1,0 +1,84 @@
+// Write buffer: the hardware behind buffered consistency (paper section 4.2).
+//
+// WRITE-GLOBAL requests are entered here and sent to memory immediately
+// (the network model handles queuing); an entry is retired when the
+// acknowledgment from the home memory arrives. The number of pending
+// entries implicitly implements the Adve-Hill pending-operation counter
+// (paper section 3, issue 2). FLUSH-BUFFER waiters are resumed when the
+// buffer drains — that is the CP-Synch gate.
+//
+// Capacity may be bounded (a real machine) or unbounded (the paper's
+// simulation assumption). When bounded and full, new writes block until a
+// slot frees; the caller provides the continuation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace bcsim::cache {
+
+class WriteBuffer {
+ public:
+  /// `capacity` 0 means unbounded (paper Table 4 assumption).
+  explicit WriteBuffer(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  [[nodiscard]] bool unbounded() const noexcept { return capacity_ == 0; }
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+  [[nodiscard]] bool empty() const noexcept { return pending_ == 0; }
+  [[nodiscard]] bool full() const noexcept {
+    return capacity_ != 0 && pending_ >= capacity_;
+  }
+
+  /// Registers a new in-flight global write; returns its transaction id.
+  std::uint64_t enter() {
+    ++pending_;
+    return next_txn_++;
+  }
+
+  /// Retires the entry matching an acknowledgment. Fires flush waiters when
+  /// the buffer drains and slot waiters when a slot frees.
+  void retire() {
+    --pending_;
+    if (!slot_waiters_.empty() && !full()) {
+      auto fn = std::move(slot_waiters_.front());
+      slot_waiters_.pop_front();
+      fn();
+    }
+    if (pending_ == 0) {
+      auto waiters = std::move(flush_waiters_);
+      flush_waiters_.clear();
+      for (auto& w : waiters) w();
+    }
+  }
+
+  /// Runs `fn` once the buffer is empty (immediately if already empty).
+  void on_drained(std::function<void()> fn) {
+    if (pending_ == 0) {
+      fn();
+    } else {
+      flush_waiters_.push_back(std::move(fn));
+    }
+  }
+
+  /// Runs `fn` once a slot is available (immediately if not full).
+  void on_slot(std::function<void()> fn) {
+    if (!full()) {
+      fn();
+    } else {
+      slot_waiters_.push_back(std::move(fn));
+    }
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t pending_ = 0;
+  std::uint64_t next_txn_ = 1;
+  std::vector<std::function<void()>> flush_waiters_;
+  std::deque<std::function<void()>> slot_waiters_;
+};
+
+}  // namespace bcsim::cache

@@ -1,0 +1,142 @@
+// Machine configuration: every architectural knob in one aggregate.
+//
+// Defaults follow paper Table 4: 4-word blocks, 1024-block caches, main
+// memory cycle = 4 cache cycles, Omega network of 2x2 switches. The paper
+// evaluates three orthogonal choices, which appear here as three enums:
+// how shared data is kept coherent, how memory consistency is enforced,
+// and how locks are implemented.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+#include "sim/types.hpp"
+
+namespace bcsim::core {
+
+/// How shared (coherent) data accesses are implemented.
+enum class DataProtocol : std::uint8_t {
+  kWbi,         ///< write-back invalidate MSI via the central directory (baseline)
+  kReadUpdate,  ///< the paper's machine: WRITE-GLOBAL + READ-UPDATE subscriptions
+};
+
+/// Memory consistency enforcement for global writes.
+enum class Consistency : std::uint8_t {
+  kSequential,  ///< each global write stalls the processor until acknowledged
+  kBuffered,    ///< the paper's model: writes enter the write buffer;
+                ///< only FLUSH-BUFFER (before CP-Synch) stalls
+};
+
+/// Mutual-exclusion implementation used by Processor::lock()/unlock().
+enum class LockImpl : std::uint8_t {
+  kCbl,         ///< the paper's cache-based queued lock (hardware)
+  kTts,         ///< test-and-test&set spinning on a cached copy (WBI baseline)
+  kTtsBackoff,  ///< TTS with capped exponential backoff (paper's Q-backoff)
+  kTicket,      ///< ticket lock (fetch&add based)
+  kMcs,         ///< MCS list lock (modern software queue-lock baseline)
+};
+
+/// Barrier implementation used by Processor::barrier().
+enum class BarrierImpl : std::uint8_t {
+  kCbl,      ///< memory-side counter + chained release (hardware path)
+  kCentral,  ///< sense-reversing centralized software barrier on shared memory
+  kTree,     ///< software combining tree (fan-in 4) over shared memory
+};
+
+enum class NetworkKind : std::uint8_t { kOmega, kCrossbar, kMesh, kIdeal };
+
+[[nodiscard]] constexpr std::string_view to_string(DataProtocol p) noexcept {
+  return p == DataProtocol::kWbi ? "wbi" : "read-update";
+}
+[[nodiscard]] constexpr std::string_view to_string(Consistency c) noexcept {
+  return c == Consistency::kSequential ? "sc" : "bc";
+}
+[[nodiscard]] constexpr std::string_view to_string(LockImpl l) noexcept {
+  switch (l) {
+    case LockImpl::kCbl: return "cbl";
+    case LockImpl::kTts: return "tts";
+    case LockImpl::kTtsBackoff: return "tts-backoff";
+    case LockImpl::kTicket: return "ticket";
+    case LockImpl::kMcs: return "mcs";
+  }
+  return "?";
+}
+[[nodiscard]] constexpr std::string_view to_string(BarrierImpl b) noexcept {
+  switch (b) {
+    case BarrierImpl::kCbl: return "cbl";
+    case BarrierImpl::kCentral: return "central";
+    case BarrierImpl::kTree: return "tree";
+  }
+  return "?";
+}
+[[nodiscard]] constexpr std::string_view to_string(NetworkKind n) noexcept {
+  switch (n) {
+    case NetworkKind::kOmega: return "omega";
+    case NetworkKind::kCrossbar: return "crossbar";
+    case NetworkKind::kMesh: return "mesh";
+    case NetworkKind::kIdeal: return "ideal";
+  }
+  return "?";
+}
+
+struct MachineConfig {
+  std::uint32_t n_nodes = 16;
+
+  // Cache geometry (Table 4: block size 4 words, cache size 1024 blocks).
+  std::uint32_t block_words = 4;
+  std::uint32_t cache_blocks = 1024;
+  std::uint32_t cache_assoc = 4;
+  std::uint32_t lock_cache_entries = 16;
+  std::size_t write_buffer_entries = 0;  ///< 0 = unbounded (Table 4 assumption)
+  /// WBI directory precision: 0 = full map; k > 0 = Dir_k-B (k pointers,
+  /// invalidations broadcast to every node once more than k sharers
+  /// exist). The paper picks pointer-based structures because full maps
+  /// do not scale (section 4.1, citing Stenstrom's survey); this knob
+  /// quantifies what the cheaper directory costs the baseline.
+  std::uint32_t dir_pointer_limit = 0;
+
+  // Timing (Table 4: main memory cycle time = 4 cache cycles).
+  Tick t_directory = 1;  ///< t_D: directory check
+  Tick t_memory = 4;     ///< t_m: memory block access
+  Tick switch_delay = 1; ///< per-stage header latency in the Omega network
+  Tick ideal_latency = 4;///< latency of the ideal network
+
+  NetworkKind network = NetworkKind::kOmega;
+  DataProtocol data_protocol = DataProtocol::kWbi;
+  Consistency consistency = Consistency::kSequential;
+  LockImpl lock_impl = LockImpl::kTts;
+  BarrierImpl barrier_impl = BarrierImpl::kCentral;
+
+  std::uint64_t seed = 1;
+
+  /// Throws std::invalid_argument on inconsistent settings.
+  void validate() const {
+    if (n_nodes == 0) throw std::invalid_argument("config: n_nodes must be >= 1");
+    if (block_words == 0 || block_words > 32) {
+      throw std::invalid_argument("config: block_words must be in [1,32]");
+    }
+    if (cache_assoc == 0 || cache_blocks == 0 || cache_blocks % cache_assoc != 0) {
+      throw std::invalid_argument("config: cache_blocks must be a positive multiple of assoc");
+    }
+    if (lock_cache_entries == 0) {
+      throw std::invalid_argument("config: lock_cache_entries must be >= 1");
+    }
+    if (data_protocol == DataProtocol::kReadUpdate && lock_impl != LockImpl::kCbl) {
+      // Software spin locks rely on coherent READ/WRITE, which the
+      // read-update machine deliberately does not provide for plain
+      // accesses; locks there are the hardware CBL primitives.
+      throw std::invalid_argument(
+          "config: the read-update machine requires lock_impl=kCbl");
+    }
+    if (consistency == Consistency::kBuffered && data_protocol == DataProtocol::kWbi) {
+      // BC applies to WRITE-GLOBAL traffic, which only the read-update
+      // machine generates; allowing the combination would silently measure
+      // nothing. (Paper Figures 6-7 compare SC vs BC on the CBL machine.)
+      throw std::invalid_argument(
+          "config: buffered consistency requires data_protocol=kReadUpdate");
+    }
+  }
+};
+
+}  // namespace bcsim::core

@@ -1,0 +1,108 @@
+#include "core/machine.hpp"
+
+#include <stdexcept>
+
+namespace bcsim::core {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config), amap_(config.block_words, config.n_nodes) {
+  config_.validate();
+  switch (config_.network) {
+    case NetworkKind::kOmega:
+      network_ = std::make_unique<net::OmegaNetwork>(sim_, stats_, config_.n_nodes,
+                                                     config_.switch_delay);
+      break;
+    case NetworkKind::kCrossbar:
+      network_ = std::make_unique<net::CrossbarNetwork>(sim_, stats_, config_.n_nodes);
+      break;
+    case NetworkKind::kMesh:
+      network_ = std::make_unique<net::MeshNetwork>(sim_, stats_, config_.n_nodes,
+                                                    config_.switch_delay);
+      break;
+    case NetworkKind::kIdeal:
+      network_ = std::make_unique<net::IdealNetwork>(sim_, stats_, config_.n_nodes,
+                                                     config_.ideal_latency);
+      break;
+  }
+  network_->set_block_words(config_.block_words);
+
+  sim::Rng seeder(config_.seed);
+  dirs_.reserve(config_.n_nodes);
+  caches_.reserve(config_.n_nodes);
+  processors_.reserve(config_.n_nodes);
+  for (NodeId i = 0; i < config_.n_nodes; ++i) {
+    dirs_.push_back(std::make_unique<proto::DirectoryController>(i, sim_, *network_, amap_,
+                                                                 config_, stats_));
+    caches_.push_back(
+        std::make_unique<CacheController>(i, sim_, *network_, amap_, config_, stats_));
+    processors_.push_back(
+        std::make_unique<Processor>(i, sim_, *caches_.back(), config_, seeder.next_u64()));
+    network_->attach(i, net::Unit::kMemory,
+                     [d = dirs_.back().get()](const net::Message& m) { d->on_message(m); });
+    network_->attach(i, net::Unit::kCache,
+                     [c = caches_.back().get()](const net::Message& m) { c->on_message(m); });
+  }
+}
+
+Tick Machine::run(Tick max_cycles) {
+  while (started_ < programs_.size()) {
+    sim::Task& t = programs_[started_++];
+    sim_.schedule(0, [&t] { t.start(); });
+  }
+  const auto result = sim_.run(max_cycles);
+  for (const auto& t : programs_) t.rethrow_if_failed();
+  if (result == sim::RunResult::kBudget) {
+    throw std::runtime_error("Machine::run: cycle budget exhausted (livelock or budget too small)");
+  }
+  return sim_.now();
+}
+
+Tick Machine::run_until(Tick until) {
+  while (started_ < programs_.size()) {
+    sim::Task& t = programs_[started_++];
+    sim_.schedule(0, [&t] { t.start(); });
+  }
+  sim_.run_until(until);
+  for (const auto& t : programs_) t.rethrow_if_failed();
+  return sim_.now();
+}
+
+bool Machine::all_done() const {
+  for (const auto& t : programs_) {
+    if (!t.done()) return false;
+  }
+  return true;
+}
+
+bool Machine::quiescent() const {
+  for (const auto& d : dirs_) {
+    if (!d->quiescent()) return false;
+  }
+  for (const auto& c : caches_) {
+    if (!c->quiescent()) return false;
+  }
+  return true;
+}
+
+Word Machine::peek_memory(Addr a) const {
+  const BlockId b = amap_.block_of(a);
+  return dirs_.at(amap_.home_of(b))->memory().read_word(b, amap_.word_of(a));
+}
+
+void Machine::poke_memory(Addr a, Word v) {
+  const BlockId b = amap_.block_of(a);
+  dirs_.at(amap_.home_of(b))->memory().write_word(b, amap_.word_of(a), v);
+}
+
+Word Machine::peek_coherent(Addr a) const {
+  const BlockId b = amap_.block_of(a);
+  const auto* e = dirs_.at(amap_.home_of(b))->peek(b);
+  if (e != nullptr && e->state == mem::DirState::kModified && e->owner != kNoNode) {
+    if (const auto* line = caches_.at(e->owner)->data_cache().find(b)) {
+      return line->data[amap_.word_of(a)];
+    }
+  }
+  return peek_memory(a);
+}
+
+}  // namespace bcsim::core

@@ -1,0 +1,122 @@
+#include "core/sync/barrier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bcsim::sync {
+
+using core::Consistency;
+using core::DataProtocol;
+using core::Processor;
+
+sim::Task CblBarrier::wait(Processor& p) {
+  co_await p.flush_buffer();  // CP-Synch gate
+  co_await p.barrier_arrive(addr_, n_);
+}
+
+sim::Task CentralBarrier::wait(Processor& p) {
+  co_await p.flush_buffer();  // CP-Synch gate
+  const bool ru = p.config().data_protocol == DataProtocol::kReadUpdate;
+  const std::uint8_t my = (local_sense_.at(p.id()) ^= 1);
+  const Word arrived = co_await p.fetch_add(count_, 1);
+  if (arrived + 1 == n_) {
+    // Last arriver: reset the counter for the next phase, then flip the
+    // sense flag to open the barrier.
+    if (ru) {
+      // The counter reset must be globally performed before the release is
+      // initiated (otherwise a released processor's next-phase arrival
+      // could be clobbered by the in-flight reset) — textbook CP-Synch.
+      co_await p.write_global(count_, 0);
+      co_await p.flush_buffer();
+      co_await p.write_global(sense_, my);
+      co_await p.flush_buffer();
+    } else {
+      co_await p.write(count_, 0);
+      co_await p.write(sense_, my);
+    }
+    co_return;
+  }
+  // Spin until the sense flips. Under the read-update machine, subscribe
+  // so releases are pushed to us; under WBI the release write invalidates
+  // our cached copy.
+  for (;;) {
+    const Word s = ru ? co_await p.read_update(sense_) : co_await p.read(sense_);
+    if (s == my) break;
+    co_await p.wait_word_change(sense_, s);
+  }
+}
+
+TreeBarrier::TreeBarrier(core::AddressAllocator& alloc, std::uint32_t participants,
+                         std::uint32_t fan_in)
+    : n_(participants), fan_in_(fan_in < 2 ? 2 : fan_in), stride_(alloc.block_words()) {
+  std::uint32_t members = n_;
+  do {
+    Level lvl;
+    lvl.groups = (members + fan_in_ - 1) / fan_in_;
+    lvl.counters = alloc.alloc_blocks(lvl.groups);
+    lvl.senses = alloc.alloc_blocks(lvl.groups);
+    levels_.push_back(lvl);
+    members = lvl.groups;
+  } while (members > 1);
+}
+
+sim::Task TreeBarrier::arrive_level(core::Processor& p, std::uint32_t level,
+                                    std::uint32_t index, std::uint8_t my_sense) {
+  const bool ru = p.config().data_protocol == core::DataProtocol::kReadUpdate;
+  const Level& lvl = levels_[level];
+  const std::uint32_t members = level == 0 ? n_ : levels_[level - 1].groups;
+  const std::uint32_t group = index / fan_in_;
+  const std::uint32_t group_size =
+      std::min(fan_in_, members - group * fan_in_);
+  const Addr cnt = lvl.counters + static_cast<Addr>(group) * stride_;
+  const Addr sense = lvl.senses + static_cast<Addr>(group) * stride_;
+
+  const Word arrived = co_await p.fetch_add(cnt, 1);
+  if (arrived + 1 == group_size) {
+    // Last of the group: reset the counter for reuse, combine upward,
+    // then open this group on the way back down.
+    if (ru) {
+      co_await p.write_global(cnt, 0);
+      co_await p.flush_buffer();
+    } else {
+      co_await p.write(cnt, 0);
+    }
+    if (level + 1 < levels_.size()) {
+      co_await arrive_level(p, level + 1, group, my_sense);
+    }
+    if (ru) {
+      co_await p.write_global(sense, my_sense);
+      co_await p.flush_buffer();
+    } else {
+      co_await p.write(sense, my_sense);
+    }
+    co_return;
+  }
+  // Wait for this group's release.
+  for (;;) {
+    const Word s = ru ? co_await p.read_update(sense) : co_await p.read(sense);
+    if (s == my_sense) co_return;
+    co_await p.wait_word_change(sense, s);
+  }
+}
+
+sim::Task TreeBarrier::wait(core::Processor& p) {
+  co_await p.flush_buffer();  // CP-Synch gate
+  const std::uint8_t my = (local_sense_.at(p.id()) ^= 1);
+  co_await arrive_level(p, 0, p.id(), my);
+}
+
+std::unique_ptr<Barrier> make_barrier(core::BarrierImpl impl, core::AddressAllocator& alloc,
+                                      std::uint32_t participants) {
+  switch (impl) {
+    case core::BarrierImpl::kCbl:
+      return std::make_unique<CblBarrier>(alloc, participants);
+    case core::BarrierImpl::kCentral:
+      return std::make_unique<CentralBarrier>(alloc, participants);
+    case core::BarrierImpl::kTree:
+      return std::make_unique<TreeBarrier>(alloc, participants);
+  }
+  throw std::invalid_argument("make_barrier: unknown barrier implementation");
+}
+
+}  // namespace bcsim::sync

@@ -1,0 +1,92 @@
+// Barrier synchronization (a CP-Synch operation in the paper's model: every
+// implementation flushes the write buffer before arriving, so all global
+// writes of the phase are performed before anyone crosses).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/machine.hpp"
+#include "core/processor.hpp"
+#include "sim/task.hpp"
+
+namespace bcsim::sync {
+
+class Barrier {
+ public:
+  virtual ~Barrier() = default;
+  /// Blocks the calling processor until all `participants` have arrived.
+  /// Reusable across phases.
+  virtual sim::Task wait(core::Processor& p) = 0;
+};
+
+/// Hardware path: fetch-increment of a counter at its home memory module;
+/// the last arriver's ack doubles as its release, everyone else gets a
+/// chained release notification (paper Table 3 "barrier request"/"barrier
+/// notify" rows).
+class CblBarrier final : public Barrier {
+ public:
+  CblBarrier(core::AddressAllocator& alloc, std::uint32_t participants)
+      : addr_(alloc.alloc_blocks(1)), n_(participants) {}
+  sim::Task wait(core::Processor& p) override;
+
+ private:
+  Addr addr_;
+  std::uint32_t n_;
+};
+
+/// Software baseline: sense-reversing centralized barrier — fetch&add on an
+/// arrival counter, spin on a sense flag. Under WBI the spin rides the
+/// coherence protocol; under the read-update machine the spin subscribes to
+/// the sense word with READ-UPDATE and the release uses WRITE-GLOBAL, which
+/// is exactly the paper's intended use of reader-initiated coherence.
+class CentralBarrier final : public Barrier {
+ public:
+  CentralBarrier(core::AddressAllocator& alloc, std::uint32_t participants)
+      : count_(alloc.alloc_blocks(1)), sense_(alloc.alloc_blocks(1)), n_(participants) {}
+  sim::Task wait(core::Processor& p) override;
+
+ private:
+  Addr count_;
+  Addr sense_;
+  std::uint32_t n_;
+  /// Host-side per-node sense (models each processor's private sense
+  /// variable; private data is modeled probabilistically, not stored).
+  std::vector<std::uint8_t> local_sense_ = std::vector<std::uint8_t>(256, 0);
+};
+
+/// Software combining-tree barrier: processors arrive in groups of
+/// `fan_in` at leaf counters; the last arriver of each group propagates
+/// one level up, and the root release trickles back down through per-level
+/// sense flags. Arrival traffic is spread over n/fan_in counters instead
+/// of one — the software answer to the hot-spot problem the paper cites
+/// (Pfister & Norton), included as a stronger software baseline than the
+/// centralized barrier.
+class TreeBarrier final : public Barrier {
+ public:
+  TreeBarrier(core::AddressAllocator& alloc, std::uint32_t participants,
+              std::uint32_t fan_in = 4);
+  sim::Task wait(core::Processor& p) override;
+
+ private:
+  struct Level {
+    Addr counters;      ///< one counter word per group (block-spaced)
+    Addr senses;        ///< one sense word per group (block-spaced)
+    std::uint32_t groups;
+  };
+  sim::Task arrive_level(core::Processor& p, std::uint32_t level, std::uint32_t index,
+                         std::uint8_t my_sense);
+
+  std::uint32_t n_;
+  std::uint32_t fan_in_;
+  std::uint32_t stride_;  ///< words between sibling counters (a whole block)
+  std::vector<Level> levels_;
+  std::vector<std::uint8_t> local_sense_ = std::vector<std::uint8_t>(256, 0);
+};
+
+std::unique_ptr<Barrier> make_barrier(core::BarrierImpl impl, core::AddressAllocator& alloc,
+                                      std::uint32_t participants);
+
+}  // namespace bcsim::sync

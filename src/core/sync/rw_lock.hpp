@@ -1,0 +1,33 @@
+// Reader-writer lock: the CBL protocol supports shared (READ-LOCK) and
+// exclusive (WRITE-LOCK) modes natively — this is the thin coroutine
+// wrapper. Readers sharing the lock receive the protected block with the
+// grant and may read it locally; the writer gets exclusive access and its
+// modifications travel with the lock.
+#pragma once
+
+#include "core/machine.hpp"
+#include "core/processor.hpp"
+#include "sim/task.hpp"
+
+namespace bcsim::sync {
+
+class CblSharedMutex {
+ public:
+  explicit CblSharedMutex(core::AddressAllocator& alloc) : addr_(alloc.alloc_blocks(1)) {}
+
+  sim::Task lock_shared(core::Processor& p) { co_await p.read_lock(addr_); }
+  sim::Task lock(core::Processor& p) { co_await p.write_lock(addr_); }
+  /// Unlock is CP-Synch: flush, then release (same path for both modes).
+  sim::Task unlock(core::Processor& p) {
+    co_await p.flush_buffer();
+    co_await p.unlock(addr_);
+  }
+
+  /// Base address of the protected block (data rides the lock grant).
+  [[nodiscard]] Addr lock_addr() const noexcept { return addr_; }
+
+ private:
+  Addr addr_;
+};
+
+}  // namespace bcsim::sync

@@ -1,0 +1,44 @@
+// Address arithmetic: words <-> blocks <-> home memory modules.
+//
+// The machine is word-addressed. A block (cache line) is `block_words`
+// consecutive words; blocks are interleaved across the nodes' memory module
+// slices (home = block mod n_nodes), the standard layout for a distributed
+// shared memory.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace bcsim::mem {
+
+class AddressMap {
+ public:
+  AddressMap(std::uint32_t block_words, std::uint32_t n_nodes) noexcept
+      : block_words_(block_words), n_nodes_(n_nodes) {
+    assert(block_words >= 1);
+    assert(n_nodes >= 1);
+  }
+
+  [[nodiscard]] std::uint32_t block_words() const noexcept { return block_words_; }
+  [[nodiscard]] std::uint32_t n_nodes() const noexcept { return n_nodes_; }
+
+  [[nodiscard]] BlockId block_of(Addr a) const noexcept { return a / block_words_; }
+  [[nodiscard]] std::uint32_t word_of(Addr a) const noexcept {
+    return static_cast<std::uint32_t>(a % block_words_);
+  }
+  [[nodiscard]] Addr base_of(BlockId b) const noexcept {
+    return static_cast<Addr>(b) * block_words_;
+  }
+  /// Node whose memory module slice holds this block.
+  [[nodiscard]] NodeId home_of(BlockId b) const noexcept {
+    return static_cast<NodeId>(b % n_nodes_);
+  }
+
+ private:
+  std::uint32_t block_words_;
+  std::uint32_t n_nodes_;
+};
+
+}  // namespace bcsim::mem

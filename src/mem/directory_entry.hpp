@@ -1,0 +1,93 @@
+// Central directory entry (paper Figure 2b: usage bit + queue pointer),
+// plus the authoritative protocol state the simulator keeps per block.
+//
+// The paper's hardware stores only {usage bit, queue pointer} centrally and
+// distributes the rest of the queue through cache-line pointers. The
+// simulator additionally mirrors the full queue here: the directory is the
+// serialization point for membership changes anyway, so this mirror is
+// exact, and it is what lets tests state global invariants ("exactly one
+// write holder", "subscription list acyclic") cheaply. The distributed
+// pointers in the caches are still maintained and used for the actual
+// grant/handoff/update message flows.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/types.hpp"
+
+namespace bcsim::mem {
+
+/// WBI directory states.
+enum class DirState : std::uint8_t {
+  kUncached,
+  kShared,
+  kModified,
+  kBusyRecall,  ///< recall to the owner outstanding
+  kBusyRmw,     ///< invalidations for an RMW outstanding (acks come here)
+};
+
+/// A member of the CBL lock queue as the directory sees it.
+struct LockChainNode {
+  NodeId node = kNoNode;
+  net::LockMode mode = net::LockMode::kRead;
+};
+
+struct DirectoryEntry {
+  // ---- WBI (baseline protocol) ----
+  DirState state = DirState::kUncached;
+  std::vector<NodeId> sharers;      ///< full-map sharer set (kShared)
+  NodeId owner = kNoNode;           ///< exclusive owner (kModified)
+
+  // Transaction in flight while kBusyRecall / kBusyRmw.
+  net::Message pending{};           ///< original request being serviced
+  std::uint32_t acks_outstanding = 0;
+
+  /// Requests that arrived while the entry was busy; drained FIFO when the
+  /// entry becomes stable again (the paper assumes infinite buffers, so
+  /// queuing — not NACKing — is the faithful model).
+  std::deque<net::Message> blocked;
+
+  // ---- paper Figure 2b ----
+  /// usage bit: false = queue pointer threads the read-update subscriber
+  /// list; true = it threads a lock queue.
+  bool usage_lock = false;
+
+  // ---- read-update subscription list (authoritative mirror) ----
+  /// Subscribers, head first. The head is what the hardware queue pointer
+  /// stores; new subscribers push at the front (cheapest hardware insert).
+  std::vector<NodeId> ru_list;
+  /// Monotonic write version for this block. Carried in every RuUpdate so
+  /// subscribers never apply an older block snapshot over a newer one
+  /// (two writes by different writers propagate along different hop
+  /// sequences, so per-link FIFO alone cannot order them).
+  std::uint64_t ru_version = 0;
+
+  // ---- CBL lock queue (authoritative mirror) ----
+  /// Grant-order chain: the first `lock_holders` entries currently hold the
+  /// lock; the rest wait. The hardware queue pointer is chain.back().
+  std::vector<LockChainNode> lock_chain;
+  std::uint32_t lock_holders = 0;
+  /// Block is being written back to memory after the final unlock; lock
+  /// requests arriving in this window are queued in `blocked`.
+  bool lock_writeback_pending = false;
+  /// Set while a holder exists whose cached copy may differ from memory.
+  bool lock_data_stale = false;
+
+  // ---- barrier support ----
+  std::uint32_t barrier_count = 0;
+  std::vector<NodeId> barrier_waiters;
+
+  [[nodiscard]] bool busy() const noexcept {
+    return state == DirState::kBusyRecall || state == DirState::kBusyRmw ||
+           lock_writeback_pending;
+  }
+  [[nodiscard]] bool lock_queue_empty() const noexcept { return lock_chain.empty(); }
+  [[nodiscard]] NodeId lock_tail() const noexcept {
+    return lock_chain.empty() ? kNoNode : lock_chain.back().node;
+  }
+};
+
+}  // namespace bcsim::mem

@@ -1,0 +1,150 @@
+#include "net/network.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+#include "sim/log.hpp"
+
+namespace bcsim::net {
+
+Network::Network(sim::Simulator& simulator, sim::StatsRegistry& stats, std::uint32_t n_nodes)
+    : simulator_(simulator), stats_(stats), n_nodes_(n_nodes),
+      cache_sinks_(n_nodes), memory_sinks_(n_nodes) {
+  if (n_nodes == 0) throw std::invalid_argument("Network: need at least one node");
+}
+
+void Network::attach(NodeId node, Unit unit, DeliverFn fn) {
+  auto& sinks = (unit == Unit::kCache) ? cache_sinks_ : memory_sinks_;
+  sinks.at(node) = std::move(fn);
+}
+
+Tick Network::flits_of(const Message& m) const noexcept {
+  switch (size_class(m)) {
+    case SizeClass::kControl: return 1;
+    case SizeClass::kWord: return 2;
+    case SizeClass::kBlock: return 1 + block_words_;
+  }
+  return 1;
+}
+
+void Network::send(Message msg) {
+  stats_.counter("net.messages").add();
+  stats_.counter(is_sync_message(msg.type) ? "net.sync_messages" : "net.data_messages").add();
+  stats_.counter(std::string("net.msg.") += to_string(msg.type)).add();
+  const Tick now = simulator_.now();
+  Tick arrive;
+  if (msg.src == msg.dst) {
+    stats_.counter("net.local").add();
+    arrive = now + kLocalLatency;
+  } else {
+    stats_.counter("net.remote").add();
+    stats_.counter("net.flits").add(flits_of(msg));
+    arrive = route(msg, now);
+    stats_.histogram("net.latency").record(arrive - now);
+  }
+  simulator_.schedule_at(arrive, [this, m = std::move(msg)] { deliver(m); });
+}
+
+void Network::deliver(const Message& m) {
+  const auto& sinks = (m.unit == Unit::kCache) ? cache_sinks_ : memory_sinks_;
+  const auto& fn = sinks.at(m.dst);
+  if (!fn) throw std::logic_error("Network: message to unattached endpoint");
+  BCSIM_LOG(kTrace, "net", simulator_.now(),
+            to_string(m.type) << " " << m.src << "->" << m.dst
+                              << (m.unit == Unit::kMemory ? "(mem)" : "(cache)") << " blk="
+                              << m.block);
+  fn(m);
+}
+
+OmegaNetwork::OmegaNetwork(sim::Simulator& simulator, sim::StatsRegistry& stats,
+                           std::uint32_t n_nodes, Tick switch_delay)
+    : Network(simulator, stats, n_nodes), switch_delay_(switch_delay) {
+  width_ = std::bit_ceil(n_nodes < 2 ? 2u : n_nodes);
+  stages_ = static_cast<std::uint32_t>(std::bit_width(width_) - 1);
+  port_free_.assign(static_cast<std::size_t>(stages_) * width_, 0);
+}
+
+Tick OmegaNetwork::route(const Message& m, Tick now) {
+  const Tick flits = flits_of(m);
+  std::uint32_t wire = m.src;
+  Tick t = now;
+  Tick waited = 0;
+  for (std::uint32_t s = 0; s < stages_; ++s) {
+    // Perfect shuffle into stage s, then destination-tag routing: the
+    // switch sends the message out of port bit(dst, stages-1-s).
+    wire = rotl_bits(wire);
+    const std::uint32_t sw = wire >> 1;
+    const std::uint32_t out = (m.dst >> (stages_ - 1 - s)) & 1u;
+    wire = (sw << 1) | out;
+    Tick& free_at = port_free_[static_cast<std::size_t>(s) * width_ + wire];
+    if (free_at > t) {
+      waited += free_at - t;
+      t = free_at;
+    }
+    free_at = t + flits;   // port is occupied while the message streams through
+    t += switch_delay_;    // header advances to the next stage
+  }
+  if (waited > 0) stats_.counter("net.contention_cycles").add(waited);
+  // Tail flit arrives flits-1 cycles after the header.
+  return t + (flits - 1);
+}
+
+MeshNetwork::MeshNetwork(sim::Simulator& simulator, sim::StatsRegistry& stats,
+                         std::uint32_t n_nodes, Tick hop_delay)
+    : Network(simulator, stats, n_nodes), hop_delay_(hop_delay) {
+  // Near-square grid, width >= height.
+  cols_ = 1;
+  while (cols_ * cols_ < n_nodes) ++cols_;
+  rows_ = (n_nodes + cols_ - 1) / cols_;
+  link_free_.assign(static_cast<std::size_t>(cols_) * rows_ * 4, 0);
+}
+
+Tick MeshNetwork::route(const Message& m, Tick now) {
+  const Tick flits = flits_of(m);
+  std::uint32_t x = m.src % cols_;
+  std::uint32_t y = m.src / cols_;
+  const std::uint32_t dx = m.dst % cols_;
+  const std::uint32_t dy = m.dst / cols_;
+  Tick t = now;
+  Tick waited = 0;
+  auto traverse = [&](std::uint32_t dir) {
+    Tick& free_at = link_free_[link_index(x, y, dir)];
+    if (free_at > t) {
+      waited += free_at - t;
+      t = free_at;
+    }
+    free_at = t + flits;
+    t += hop_delay_;
+  };
+  while (x != dx) {
+    const std::uint32_t dir = (dx > x) ? 0u : 1u;
+    traverse(dir);
+    x = (dx > x) ? x + 1 : x - 1;
+  }
+  while (y != dy) {
+    const std::uint32_t dir = (dy > y) ? 2u : 3u;
+    traverse(dir);
+    y = (dy > y) ? y + 1 : y - 1;
+  }
+  if (waited > 0) stats_.counter("net.contention_cycles").add(waited);
+  return t + (flits - 1);
+}
+
+CrossbarNetwork::CrossbarNetwork(sim::Simulator& simulator, sim::StatsRegistry& stats,
+                                 std::uint32_t n_nodes, Tick latency)
+    : Network(simulator, stats, n_nodes), latency_(latency), port_free_(n_nodes, 0) {}
+
+Tick CrossbarNetwork::route(const Message& m, Tick now) {
+  const Tick flits = flits_of(m);
+  Tick t = now;
+  Tick& free_at = port_free_[m.dst];
+  if (free_at > t) {
+    stats_.counter("net.contention_cycles").add(free_at - t);
+    t = free_at;
+  }
+  free_at = t + flits;
+  return t + latency_ + flits - 1;
+}
+
+}  // namespace bcsim::net

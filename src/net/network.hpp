@@ -1,0 +1,152 @@
+// Abstract interconnection network.
+//
+// The network connects n endpoints (one per node; each node hosts a cache
+// controller and a memory module slice, selected by Message::unit). send()
+// computes the delivery time — including any queuing delay from contention —
+// and schedules the destination's handler. Messages between co-located
+// units (src == dst) bypass the network with a fixed local latency, which
+// models the paper's distributed-memory configuration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace bcsim::net {
+
+/// Handler invoked at the destination when a message arrives.
+using DeliverFn = std::function<void(const Message&)>;
+
+class Network {
+ public:
+  Network(sim::Simulator& simulator, sim::StatsRegistry& stats, std::uint32_t n_nodes);
+  virtual ~Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers the consumer for (node, unit). Must be called for every
+  /// endpoint before the first send.
+  void attach(NodeId node, Unit unit, DeliverFn fn);
+
+  /// Injects a message; delivery is scheduled on the simulator.
+  void send(Message msg);
+
+  [[nodiscard]] std::uint32_t n_nodes() const noexcept { return n_nodes_; }
+
+  /// Service time (flits) a message of this size occupies a switch port.
+  [[nodiscard]] Tick flits_of(const Message& m) const noexcept;
+
+ protected:
+  /// Computes the arrival tick for a message injected now; subclasses model
+  /// topology and contention here. Local (src==dst) traffic never reaches
+  /// this.
+  virtual Tick route(const Message& m, Tick now) = 0;
+
+  sim::Simulator& simulator_;
+  sim::StatsRegistry& stats_;
+  Tick block_words_ = 4;  ///< for flit accounting of block payloads
+
+ public:
+  void set_block_words(Tick w) noexcept { block_words_ = w; }
+  /// Local (same-node) unit-to-unit latency in cycles.
+  static constexpr Tick kLocalLatency = 1;
+
+ private:
+  void deliver(const Message& m);
+
+  std::uint32_t n_nodes_;
+  std::vector<DeliverFn> cache_sinks_;
+  std::vector<DeliverFn> memory_sinks_;
+};
+
+/// Ideal network: fixed latency, no contention. Used by unit tests (exact
+/// timing is easy to predict) and as the "infinite bandwidth" ablation.
+class IdealNetwork final : public Network {
+ public:
+  IdealNetwork(sim::Simulator& simulator, sim::StatsRegistry& stats, std::uint32_t n_nodes,
+               Tick latency)
+      : Network(simulator, stats, n_nodes), latency_(latency) {}
+
+ protected:
+  Tick route(const Message&, Tick now) override { return now + latency_; }
+
+ private:
+  Tick latency_;
+};
+
+/// Multistage Omega network of 2x2 switches (the paper's interconnect).
+///
+/// Endpoints are padded to the next power of two; k = log2(N) stages with a
+/// perfect-shuffle permutation before each stage and destination-tag
+/// routing. Each switch output port is a FIFO with infinite buffering (per
+/// the paper): a message waits until the port is free, then occupies it for
+/// its flit count (cut-through). The header advances one stage per
+/// `switch_delay` cycles.
+class OmegaNetwork final : public Network {
+ public:
+  OmegaNetwork(sim::Simulator& simulator, sim::StatsRegistry& stats, std::uint32_t n_nodes,
+               Tick switch_delay = 1);
+
+ protected:
+  Tick route(const Message& m, Tick now) override;
+
+ private:
+  std::uint32_t width_;        ///< padded endpoint count (power of two)
+  std::uint32_t stages_;       ///< log2(width_)
+  Tick switch_delay_;
+  std::vector<Tick> port_free_;  ///< [stage * width_ + wire] -> busy-until
+
+  [[nodiscard]] std::uint32_t rotl_bits(std::uint32_t w) const noexcept {
+    return ((w << 1) | (w >> (stages_ - 1))) & (width_ - 1);
+  }
+};
+
+/// 2D mesh with dimension-order (XY) routing: nodes are laid out on a
+/// near-square grid; a message first travels along X, then along Y. Each
+/// directed link is a FIFO resource (infinite buffering, cut-through).
+/// Included as the directly-wired alternative to the Omega network — the
+/// paper leaves the interconnect "intentionally unspecified".
+class MeshNetwork final : public Network {
+ public:
+  MeshNetwork(sim::Simulator& simulator, sim::StatsRegistry& stats, std::uint32_t n_nodes,
+              Tick hop_delay = 1);
+
+  [[nodiscard]] std::uint32_t columns() const noexcept { return cols_; }
+  [[nodiscard]] std::uint32_t rows() const noexcept { return rows_; }
+
+ protected:
+  Tick route(const Message& m, Tick now) override;
+
+ private:
+  /// Directed link leaving (x,y) in direction d (0:+x 1:-x 2:+y 3:-y).
+  [[nodiscard]] std::size_t link_index(std::uint32_t x, std::uint32_t y,
+                                       std::uint32_t d) const noexcept {
+    return (static_cast<std::size_t>(y) * cols_ + x) * 4 + d;
+  }
+
+  std::uint32_t cols_;
+  std::uint32_t rows_;
+  Tick hop_delay_;
+  std::vector<Tick> link_free_;
+};
+
+/// Single-stage crossbar: contention only at the destination port.
+class CrossbarNetwork final : public Network {
+ public:
+  CrossbarNetwork(sim::Simulator& simulator, sim::StatsRegistry& stats, std::uint32_t n_nodes,
+                  Tick latency = 2);
+
+ protected:
+  Tick route(const Message& m, Tick now) override;
+
+ private:
+  Tick latency_;
+  std::vector<Tick> port_free_;
+};
+
+}  // namespace bcsim::net

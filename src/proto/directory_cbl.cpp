@@ -1,0 +1,170 @@
+// Cache-based locking, memory side (paper section 4.3): the central
+// directory entry holds the queue pointer (tail) and — in this simulator —
+// an authoritative mirror of the whole grant-order chain, which it is in a
+// position to keep exact because every membership change serializes here.
+// Enqueues are forwarded through the current tail exactly as the paper
+// describes; handoffs flow cache-to-cache.
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "proto/directory_controller.hpp"
+
+namespace bcsim::proto {
+
+using net::LockMode;
+using net::Message;
+using net::MsgType;
+using net::Unit;
+
+namespace {
+constexpr std::uint8_t kAuxHandoffDone = 1;
+constexpr std::uint8_t kAuxWriteback = 0;
+constexpr std::uint8_t kAuxDrop = 1;
+constexpr std::uint8_t kFwdShareBit = 2;
+}  // namespace
+
+void DirectoryController::on_lock_req(const net::Message& m) {
+  auto& e = entry(m.block);
+  if (defer_if_busy(e, m)) return;
+  if (!e.ru_list.empty()) {
+    throw std::logic_error("DirectoryController: lock request on a read-update block");
+  }
+  const auto mode = static_cast<LockMode>(m.aux & 1u);
+  stats_.counter("dir.lock_req").add();
+
+  if (e.lock_chain.empty()) {
+    // Unlocked and no outstanding requester: grant immediately, shipping
+    // the protected data with the grant.
+    e.usage_lock = true;
+    e.lock_chain.push_back({m.src, mode});
+    e.lock_holders = 1;
+    e.lock_data_stale = true;
+    auto out = reply_to(m, MsgType::kLockGrant);
+    out.data = memory_.read_block(m.block);
+    out.aux = static_cast<std::uint8_t>(mode);
+    reply_after(config_.t_directory + config_.t_memory, std::move(out));
+    return;
+  }
+
+  // Contended: forward the request to the current tail and swing the
+  // queue pointer to the newcomer.
+  const NodeId old_tail = e.lock_tail();
+  const bool share = mode == LockMode::kRead &&
+                     e.lock_holders == e.lock_chain.size() &&
+                     e.lock_chain.front().mode == LockMode::kRead;
+  e.lock_chain.push_back({m.src, mode});
+  if (share) e.lock_holders += 1;
+  Message fwd;
+  fwd.src = node_;
+  fwd.dst = old_tail;
+  fwd.unit = Unit::kCache;
+  fwd.type = MsgType::kLockFwd;
+  fwd.block = m.block;
+  fwd.who = m.src;
+  fwd.aux = static_cast<std::uint8_t>(mode) | (share ? kFwdShareBit : 0);
+  reply_after(config_.t_directory, std::move(fwd));
+  stats_.counter(share ? "dir.lock_fwd_share" : "dir.lock_fwd_wait").add();
+}
+
+bool DirectoryController::chain_remove(mem::DirectoryEntry& e, NodeId node) {
+  auto it = std::find_if(e.lock_chain.begin(), e.lock_chain.end(),
+                         [node](const mem::LockChainNode& n) { return n.node == node; });
+  if (it == e.lock_chain.end()) {
+    throw std::logic_error("DirectoryController: unlock from a node not in the chain");
+  }
+  const auto idx = static_cast<std::uint32_t>(it - e.lock_chain.begin());
+  const bool was_holder = idx < e.lock_holders;
+  e.lock_chain.erase(it);
+  if (was_holder) e.lock_holders -= 1;
+  return was_holder;
+}
+
+void DirectoryController::promote_waiters(mem::DirectoryEntry& e) {
+  if (e.lock_holders != 0 || e.lock_chain.empty()) return;
+  if (e.lock_chain.front().mode == LockMode::kWrite) {
+    e.lock_holders = 1;
+  } else {
+    std::uint32_t k = 0;
+    while (k < e.lock_chain.size() && e.lock_chain[k].mode == LockMode::kRead) ++k;
+    e.lock_holders = k;
+  }
+}
+
+void DirectoryController::on_unlock_notify(const net::Message& m) {
+  auto& e = entry(m.block);
+  stats_.counter("dir.unlock_notify").add();
+  const bool was_holder = chain_remove(e, m.src);
+  assert(was_holder);
+  static_cast<void>(was_holder);
+
+  if (m.aux == kAuxHandoffDone) {
+    // The releasing cache already handed the lock (and data) to m.who;
+    // this is bookkeeping. Promote the next holder group to match the
+    // grant/cascade messages in flight.
+    promote_waiters(e);
+    memory_.occupy(sim_.now(), config_.t_directory);
+    return;
+  }
+
+  // Orchestrated (read-lock) release: the directory decides the
+  // disposition and instructs the releasing cache.
+  if (e.lock_holders > 0) {
+    // Other readers still hold the lock: the releaser just drops out.
+    auto out = reply_to(m, MsgType::kUnlockEmpty);
+    out.aux = kAuxDrop;
+    reply_after(config_.t_directory, std::move(out));
+    return;
+  }
+  if (!e.lock_chain.empty()) {
+    // The releaser was the last holder and waiters exist: have it hand
+    // the lock to the head of the waiting queue (the cascade among
+    // contiguous read waiters flows cache-to-cache from there).
+    promote_waiters(e);
+    auto cmd = reply_to(m, MsgType::kHandoffCmd);
+    cmd.who = e.lock_chain.front().node;
+    reply_after(config_.t_directory, std::move(cmd));
+    return;
+  }
+  // Queue empty: the line returns to memory.
+  e.lock_writeback_pending = true;
+  auto out = reply_to(m, MsgType::kUnlockEmpty);
+  out.aux = kAuxWriteback;
+  reply_after(config_.t_directory, std::move(out));
+}
+
+void DirectoryController::on_unlock_query(const net::Message& m) {
+  auto& e = entry(m.block);
+  stats_.counter("dir.unlock_query").add();
+  if (e.lock_chain.size() == 1 && e.lock_chain.front().node == m.src) {
+    // Truly the tail: unlink and call the data home.
+    e.lock_chain.clear();
+    e.lock_holders = 0;
+    e.lock_writeback_pending = true;
+    auto out = reply_to(m, MsgType::kUnlockEmpty);
+    out.aux = kAuxWriteback;
+    reply_after(config_.t_directory, std::move(out));
+    return;
+  }
+  // A successor announce (kLockFwd) is in flight to the releaser; it must
+  // drain: link the successor when the announce arrives, then hand off.
+  assert(!e.lock_chain.empty() && e.lock_chain.front().node == m.src);
+  auto out = reply_to(m, MsgType::kUnlockWaitSucc);
+  reply_after(config_.t_directory, std::move(out));
+}
+
+void DirectoryController::on_lock_writeback(const net::Message& m) {
+  auto& e = entry(m.block);
+  stats_.counter("dir.lock_writeback").add();
+  assert(e.lock_writeback_pending);
+  if (m.aux != 0) {
+    memory_.write_block_masked(m.block, m.data, m.dirty_mask);
+  }
+  e.lock_writeback_pending = false;
+  e.lock_data_stale = false;
+  e.usage_lock = false;
+  memory_.occupy(sim_.now(), config_.t_directory + (m.aux != 0 ? config_.t_memory : 0));
+  drain_blocked(m.block);
+}
+
+}  // namespace bcsim::proto

@@ -1,0 +1,379 @@
+// Dispatch, serialization, and the WBI (write-back invalidate) baseline.
+#include "proto/directory_controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/log.hpp"
+
+namespace bcsim::proto {
+
+using net::Message;
+using net::MsgType;
+using net::Unit;
+
+DirectoryController::DirectoryController(NodeId node, sim::Simulator& simulator,
+                                         net::Network& network, const mem::AddressMap& amap,
+                                         const core::MachineConfig& config,
+                                         sim::StatsRegistry& stats)
+    : node_(node), sim_(simulator), net_(network), amap_(amap), config_(config), stats_(stats),
+      memory_(config.block_words, config.t_directory, config.t_memory) {}
+
+const mem::DirectoryEntry* DirectoryController::peek(BlockId b) const {
+  auto it = entries_.find(b);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool DirectoryController::quiescent() const {
+  for (const auto& [b, e] : entries_) {
+    if (e.busy() || !e.blocked.empty()) return false;
+  }
+  return true;
+}
+
+void DirectoryController::on_message(const net::Message& m) {
+  assert(amap_.home_of(m.block) == node_ && "message routed to wrong home");
+  handle(m);
+}
+
+void DirectoryController::handle(const net::Message& m) {
+  switch (m.type) {
+    // WBI
+    case MsgType::kGetS: on_gets(m); break;
+    case MsgType::kGetX: on_getx(m); break;
+    case MsgType::kRmw: on_rmw(m); break;
+    case MsgType::kPutM: on_putm(m); break;
+    case MsgType::kPutS: on_puts(m); break;
+    case MsgType::kRecallAck: on_recall_ack(m); break;
+    case MsgType::kInvAck: on_inv_ack(m); break;
+    // reader-initiated coherence
+    case MsgType::kReadGlobal: on_read_global(m); break;
+    case MsgType::kWriteGlobal: on_write_global(m); break;
+    case MsgType::kReadUpdate: on_read_update(m); break;
+    case MsgType::kResetUpdate: on_reset_update(m); break;
+    // CBL + barrier
+    case MsgType::kLockReq: on_lock_req(m); break;
+    case MsgType::kUnlockNotify: on_unlock_notify(m); break;
+    case MsgType::kUnlockQuery: on_unlock_query(m); break;
+    case MsgType::kLockWriteback: on_lock_writeback(m); break;
+    case MsgType::kBarArrive: on_bar_arrive(m); break;
+    default:
+      throw std::logic_error("DirectoryController: unexpected message type " +
+                             std::string(net::to_string(m.type)));
+  }
+}
+
+bool DirectoryController::defer_if_busy(mem::DirectoryEntry& e, const net::Message& m) {
+  if (!e.busy()) return false;
+  e.blocked.push_back(m);
+  stats_.counter("dir.deferred").add();
+  return true;
+}
+
+void DirectoryController::drain_blocked(BlockId b) {
+  auto& e = entry(b);
+  if (e.blocked.empty()) return;
+  // Replay FIFO; a replayed request may make the entry busy again, in
+  // which case handle() re-queues the remainder in order.
+  std::deque<net::Message> pending;
+  pending.swap(e.blocked);
+  // Handle asynchronously so the current handler finishes its state
+  // transition before any replay observes it.
+  sim_.schedule(0, [this, pending = std::move(pending)]() mutable {
+    for (auto& m : pending) handle(m);
+  });
+}
+
+void DirectoryController::reply_after(Tick service, net::Message out) {
+  const Tick done = memory_.occupy(sim_.now(), service);
+  sim_.schedule_at(done, [this, o = std::move(out)] { net_.send(o); });
+}
+
+net::Message DirectoryController::reply_to(const net::Message& m, net::MsgType type) const {
+  net::Message out;
+  out.src = node_;
+  out.dst = m.src;
+  out.unit = Unit::kCache;
+  out.type = type;
+  out.block = m.block;
+  out.addr = m.addr;
+  out.txn = m.txn;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// WBI baseline
+// ---------------------------------------------------------------------------
+
+void DirectoryController::on_gets(const net::Message& m) {
+  auto& e = entry(m.block);
+  if (defer_if_busy(e, m)) return;
+  stats_.counter("dir.gets").add();
+  switch (e.state) {
+    case mem::DirState::kUncached:
+    case mem::DirState::kShared: {
+      e.state = mem::DirState::kShared;
+      if (std::find(e.sharers.begin(), e.sharers.end(), m.src) == e.sharers.end()) {
+        e.sharers.push_back(m.src);
+      }
+      auto out = reply_to(m, MsgType::kDataS);
+      out.data = memory_.read_block(m.block);
+      reply_after(config_.t_directory + config_.t_memory, std::move(out));
+      break;
+    }
+    case mem::DirState::kModified:
+      start_recall(e, m, /*for_exclusive=*/false);
+      break;
+    default:
+      assert(false && "busy states are deferred above");
+  }
+}
+
+void DirectoryController::on_getx(const net::Message& m) {
+  auto& e = entry(m.block);
+  if (defer_if_busy(e, m)) return;
+  stats_.counter("dir.getx").add();
+  switch (e.state) {
+    case mem::DirState::kUncached:
+    case mem::DirState::kShared: {
+      std::uint32_t acks = 0;
+      for (NodeId s : invalidation_targets(e, m.src)) {
+        net::Message inv;
+        inv.src = node_;
+        inv.dst = s;
+        inv.unit = Unit::kCache;
+        inv.type = MsgType::kInv;
+        inv.block = m.block;
+        inv.who = m.src;  // ack goes to the requester's cache
+        inv.aux = 0;      // 0: ack to cache, 1: ack to directory
+        reply_after(0, std::move(inv));
+        ++acks;
+        stats_.counter("dir.invs").add();
+      }
+      e.sharers.clear();
+      e.state = mem::DirState::kModified;
+      e.owner = m.src;
+      auto out = reply_to(m, MsgType::kDataX);
+      out.data = memory_.read_block(m.block);
+      out.value = acks;  // requester collects this many kInvAck
+      reply_after(config_.t_directory + config_.t_memory, std::move(out));
+      break;
+    }
+    case mem::DirState::kModified:
+      start_recall(e, m, /*for_exclusive=*/true);
+      break;
+    default:
+      assert(false && "busy states are deferred above");
+  }
+}
+
+void DirectoryController::on_rmw(const net::Message& m) {
+  auto& e = entry(m.block);
+  if (defer_if_busy(e, m)) return;
+  stats_.counter("dir.rmw").add();
+  switch (e.state) {
+    case mem::DirState::kUncached: {
+      auto out = reply_to(m, MsgType::kRmwAck);
+      out.value = apply_rmw(m.block, amap_.word_of(m.addr), static_cast<net::RmwOp>(m.aux),
+                            m.value, m.value2);
+      reply_after(config_.t_directory + config_.t_memory, std::move(out));
+      break;
+    }
+    case mem::DirState::kShared: {
+      // Invalidate every cached copy (the RMW result lives at memory);
+      // acks return to the directory, which completes the RMW after the
+      // last one. The entry is busy meanwhile.
+      e.pending = m;
+      e.state = mem::DirState::kBusyRmw;
+      // RMW invalidates every cached copy, the requester's included
+      // (the result lives at memory).
+      const auto targets = invalidation_targets(e, kNoNode);
+      e.acks_outstanding = static_cast<std::uint32_t>(targets.size());
+      memory_.occupy(sim_.now(), config_.t_directory);  // directory lookup
+      for (NodeId s : targets) {
+        net::Message inv;
+        inv.src = node_;
+        inv.dst = s;
+        inv.unit = Unit::kCache;
+        inv.type = MsgType::kInv;
+        inv.block = m.block;
+        inv.who = node_;
+        inv.aux = 1;  // ack to directory
+        reply_after(0, std::move(inv));
+        stats_.counter("dir.invs").add();
+      }
+      e.sharers.clear();
+      if (targets.empty()) {
+        // No cached copies after all: complete immediately.
+        finish_pending(e);
+        break;
+      }
+      break;
+    }
+    case mem::DirState::kModified:
+      start_recall(e, m, /*for_exclusive=*/true);
+      break;
+    default:
+      assert(false && "busy states are deferred above");
+  }
+}
+
+void DirectoryController::on_putm(const net::Message& m) {
+  auto& e = entry(m.block);
+  if (e.state == mem::DirState::kBusyRecall && e.owner == m.src) {
+    // The write-back crossed with our recall: treat it as the recall ack,
+    // and still acknowledge the replacement so the cache can reuse the
+    // frame.
+    memory_.write_block_masked(m.block, m.data, m.dirty_mask);
+    reply_after(config_.t_directory + config_.t_memory, reply_to(m, MsgType::kPutAck));
+    e.owner = kNoNode;
+    finish_pending(e);
+    return;
+  }
+  if (e.state == mem::DirState::kModified && e.owner == m.src) {
+    memory_.write_block_masked(m.block, m.data, m.dirty_mask);
+    e.state = mem::DirState::kUncached;
+    e.owner = kNoNode;
+    reply_after(config_.t_directory + config_.t_memory, reply_to(m, MsgType::kPutAck));
+    return;
+  }
+  if (e.state == mem::DirState::kUncached && e.owner == kNoNode) {
+    // Read-update machine: plain (uniprocessor-style) writes dirty lines
+    // with no directory ownership; replacement writes the dirty words
+    // back. The per-word mask makes concurrent writebacks from different
+    // nodes merge instead of clobbering (paper section 3, issue 6).
+    memory_.write_block_masked(m.block, m.data, m.dirty_mask);
+    reply_after(config_.t_directory + config_.t_memory, reply_to(m, MsgType::kPutAck));
+    return;
+  }
+  throw std::logic_error("DirectoryController: PutM from non-owner");
+}
+
+void DirectoryController::on_puts(const net::Message& m) {
+  auto& e = entry(m.block);
+  std::erase(e.sharers, m.src);
+  if (e.sharers.empty() && e.state == mem::DirState::kShared) {
+    e.state = mem::DirState::kUncached;
+  }
+  reply_after(config_.t_directory, reply_to(m, MsgType::kPutAck));
+}
+
+void DirectoryController::on_recall_ack(const net::Message& m) {
+  auto& e = entry(m.block);
+  assert(e.state == mem::DirState::kBusyRecall);
+  assert(e.owner == m.src);
+  memory_.write_block_masked(m.block, m.data, m.dirty_mask);
+  // aux==0 means the owner downgraded to shared and kept its copy;
+  // finish_pending() re-registers it as a sharer for GetS causes.
+  if (m.aux != 0) e.owner = kNoNode;
+  finish_pending(e);
+}
+
+void DirectoryController::on_inv_ack(const net::Message& m) {
+  auto& e = entry(m.block);
+  assert(e.state == mem::DirState::kBusyRmw);
+  assert(e.acks_outstanding > 0);
+  if (--e.acks_outstanding == 0) finish_pending(e);
+}
+
+void DirectoryController::start_recall(mem::DirectoryEntry& e, const net::Message& cause,
+                                       bool for_exclusive) {
+  stats_.counter("dir.recalls").add();
+  e.pending = cause;
+  e.state = mem::DirState::kBusyRecall;
+  net::Message rec;
+  rec.src = node_;
+  rec.dst = e.owner;
+  rec.unit = Unit::kCache;
+  rec.type = MsgType::kRecall;
+  rec.block = cause.block;
+  rec.aux = for_exclusive ? 1 : 0;  // 1: invalidate, 0: downgrade to shared
+  reply_after(config_.t_directory, std::move(rec));
+}
+
+void DirectoryController::finish_pending(mem::DirectoryEntry& e) {
+  const net::Message m = e.pending;
+  e.pending = net::Message{};
+  switch (m.type) {
+    case MsgType::kGetS: {
+      // The recalled owner (if it didn't write back and vanish) downgraded
+      // to shared and keeps its copy.
+      e.state = mem::DirState::kShared;
+      e.sharers.clear();
+      if (e.owner != kNoNode && e.owner != m.src) e.sharers.push_back(e.owner);
+      e.owner = kNoNode;
+      e.sharers.push_back(m.src);
+      auto out = reply_to(m, MsgType::kDataS);
+      out.data = memory_.read_block(m.block);
+      reply_after(config_.t_directory + config_.t_memory, std::move(out));
+      break;
+    }
+    case MsgType::kGetX: {
+      e.state = mem::DirState::kModified;
+      e.owner = m.src;
+      e.sharers.clear();
+      auto out = reply_to(m, MsgType::kDataX);
+      out.data = memory_.read_block(m.block);
+      out.value = 0;
+      reply_after(config_.t_directory + config_.t_memory, std::move(out));
+      break;
+    }
+    case MsgType::kRmw: {
+      e.state = mem::DirState::kUncached;
+      e.owner = kNoNode;
+      auto out = reply_to(m, MsgType::kRmwAck);
+      out.value = apply_rmw(m.block, amap_.word_of(m.addr), static_cast<net::RmwOp>(m.aux),
+                            m.value, m.value2);
+      reply_after(config_.t_directory + config_.t_memory, std::move(out));
+      break;
+    }
+    default:
+      throw std::logic_error("DirectoryController: bad pending transaction");
+  }
+  drain_blocked(m.block);
+}
+
+std::vector<NodeId> DirectoryController::invalidation_targets(const mem::DirectoryEntry& e,
+                                                              NodeId requester) const {
+  std::vector<NodeId> out;
+  const std::uint32_t limit = config_.dir_pointer_limit;
+  if (limit != 0 && e.sharers.size() > limit) {
+    // Dir_k-B: the directory ran out of pointers for this block; the only
+    // safe invalidation is a broadcast to every other node (each acks,
+    // cached copy or not).
+    stats_.counter("dir.broadcast_invalidations").add();
+    out.reserve(config_.n_nodes - 1);
+    for (NodeId n = 0; n < config_.n_nodes; ++n) {
+      if (n != requester) out.push_back(n);
+    }
+    return out;
+  }
+  out.reserve(e.sharers.size());
+  for (NodeId s : e.sharers) {
+    if (s != requester) out.push_back(s);
+  }
+  return out;
+}
+
+Word DirectoryController::apply_rmw(BlockId b, std::uint32_t word, net::RmwOp op,
+                                    Word operand, Word operand2) {
+  const Word old = memory_.read_word(b, word);
+  switch (op) {
+    case net::RmwOp::kTestAndSet:
+      memory_.write_word(b, word, 1);
+      break;
+    case net::RmwOp::kFetchAdd:
+      memory_.write_word(b, word, old + operand);
+      break;
+    case net::RmwOp::kSwap:
+      memory_.write_word(b, word, operand);
+      break;
+    case net::RmwOp::kCompareSwap:
+      if (old == operand) memory_.write_word(b, word, operand2);
+      break;
+  }
+  return old;
+}
+
+}  // namespace bcsim::proto

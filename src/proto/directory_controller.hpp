@@ -1,0 +1,119 @@
+// Memory-side protocol engine: one per node, serving the blocks homed at
+// that node's memory module slice.
+//
+// The directory controller implements the memory side of all three
+// protocols the paper composes:
+//   * WBI — the write-back invalidate MSI baseline (full-map directory,
+//     3-hop recall, per-block serialization while a recall or an RMW
+//     invalidation round is outstanding),
+//   * reader-initiated coherence — WRITE-GLOBAL application, READ-UPDATE
+//     subscription lists, chained RuUpdate propagation, RESET-UPDATE,
+//   * CBL — the cache-based lock queue (enqueue forwarded through the
+//     current tail, unlock notifications, tail-swing queries, final
+//     writeback), and the memory-side barrier counter.
+//
+// Serialization discipline: the controller processes one message at a
+// time; requests that hit a busy block are queued in the entry's `blocked`
+// deque and replayed FIFO when the block becomes stable (the paper assumes
+// infinite buffering, so queuing — never NACK — is the faithful model).
+// Timing: every message charges t_D for the directory check plus t_m when
+// block data is read or written, serialized through the single-ported
+// memory module.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "mem/address.hpp"
+#include "mem/directory_entry.hpp"
+#include "mem/memory_module.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace bcsim::proto {
+
+class DirectoryController {
+ public:
+  DirectoryController(NodeId node, sim::Simulator& simulator, net::Network& network,
+                      const mem::AddressMap& amap, const core::MachineConfig& config,
+                      sim::StatsRegistry& stats);
+
+  /// Network sink for Unit::kMemory messages addressed to this node.
+  void on_message(const net::Message& m);
+
+  [[nodiscard]] mem::MemoryModule& memory() noexcept { return memory_; }
+  [[nodiscard]] const mem::MemoryModule& memory() const noexcept { return memory_; }
+
+  /// Directory entry for a block (creates the default entry on first use).
+  /// Exposed for test-side invariant checks; production code never needs it.
+  [[nodiscard]] const mem::DirectoryEntry* peek(BlockId b) const;
+
+  /// True if no block is in a transient state and no request is queued
+  /// (used by tests to assert quiescence after a scenario completes).
+  [[nodiscard]] bool quiescent() const;
+
+ private:
+  mem::DirectoryEntry& entry(BlockId b) { return entries_[b]; }
+
+  // --- dispatch helpers ---
+  void handle(const net::Message& m);
+  /// Queues m if the entry is busy; returns true when queued.
+  bool defer_if_busy(mem::DirectoryEntry& e, const net::Message& m);
+  /// Replays blocked requests after the entry leaves a busy state.
+  void drain_blocked(BlockId b);
+
+  /// Charges module time (t_D [+ t_m]) and sends `out` when it elapses.
+  void reply_after(Tick service, net::Message out);
+  /// Convenience: builds a reply skeleton to `m.src`'s cache unit.
+  [[nodiscard]] net::Message reply_to(const net::Message& m, net::MsgType type) const;
+
+  // --- WBI baseline (directory_wbi.cpp) ---
+  void on_gets(const net::Message& m);
+  void on_getx(const net::Message& m);
+  void on_rmw(const net::Message& m);
+  void on_putm(const net::Message& m);
+  void on_puts(const net::Message& m);
+  void on_recall_ack(const net::Message& m);
+  void on_inv_ack(const net::Message& m);
+  void start_recall(mem::DirectoryEntry& e, const net::Message& cause, bool for_exclusive);
+  /// Nodes to invalidate for an exclusive request: the exact sharer set
+  /// under a full-map directory, or all other nodes under Dir_k-B once
+  /// the pointer limit is exceeded.
+  [[nodiscard]] std::vector<NodeId> invalidation_targets(const mem::DirectoryEntry& e,
+                                                         NodeId requester) const;
+  void finish_pending(mem::DirectoryEntry& e);
+  [[nodiscard]] Word apply_rmw(BlockId b, std::uint32_t word, net::RmwOp op, Word operand,
+                               Word operand2);
+
+  // --- reader-initiated coherence (directory_ru.cpp) ---
+  void on_read_global(const net::Message& m);
+  void on_write_global(const net::Message& m);
+  void on_read_update(const net::Message& m);
+  void on_reset_update(const net::Message& m);
+  void propagate_update(mem::DirectoryEntry& e, BlockId b, Tick when);
+
+  // --- CBL locks + barrier (directory_cbl.cpp) ---
+  void on_lock_req(const net::Message& m);
+  void on_unlock_notify(const net::Message& m);
+  void on_unlock_query(const net::Message& m);
+  void on_lock_writeback(const net::Message& m);
+  void on_bar_arrive(const net::Message& m);
+  /// Removes `node` from the lock chain; promotes the next holder group
+  /// when the holder prefix empties. Returns true if `node` was a holder.
+  bool chain_remove(mem::DirectoryEntry& e, NodeId node);
+  void promote_waiters(mem::DirectoryEntry& e);
+
+  NodeId node_;
+  sim::Simulator& sim_;
+  net::Network& net_;
+  const mem::AddressMap& amap_;
+  const core::MachineConfig& config_;
+  sim::StatsRegistry& stats_;
+  mem::MemoryModule memory_;
+  std::unordered_map<BlockId, mem::DirectoryEntry> entries_;
+};
+
+}  // namespace bcsim::proto

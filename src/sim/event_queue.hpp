@@ -1,0 +1,71 @@
+// Time-ordered event queue: the heart of the discrete-event kernel.
+//
+// Events are (tick, sequence, callback). The sequence number breaks ties so
+// that two events scheduled for the same tick fire in scheduling order; this
+// makes every simulation bit-reproducible and independent of heap internals.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace bcsim::sim {
+
+/// Callback invoked when an event fires. Kept as std::function: events are
+/// small (a coroutine handle or a component method bound to a message).
+using EventFn = std::function<void()>;
+
+/// Min-heap of events ordered by (tick, seq).
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  /// Schedules `fn` to fire at absolute time `at`. Returns the event's
+  /// unique sequence number (usable for debugging; events cannot be
+  /// cancelled — cancellation is modeled by the callback checking a flag,
+  /// which keeps the queue trivially correct).
+  std::uint64_t push(Tick at, EventFn fn) {
+    heap_.push_back(Item{at, next_seq_, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return next_seq_++;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] Tick next_tick() const noexcept { return heap_.front().at; }
+
+  /// Removes and returns the earliest event. Precondition: !empty().
+  [[nodiscard]] std::pair<Tick, EventFn> pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Item item = std::move(heap_.back());
+    heap_.pop_back();
+    return {item.at, std::move(item.fn)};
+  }
+
+  void clear() noexcept { heap_.clear(); }
+
+ private:
+  struct Item {
+    Tick at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  /// Comparator for std::push_heap (max-heap semantics -> invert to min).
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Item> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace bcsim::sim

@@ -1,0 +1,52 @@
+#include "sim/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace bcsim::sim {
+namespace {
+
+LogLevel parse_level(const char* s) noexcept {
+  if (s == nullptr) return LogLevel::kOff;
+  if (std::strcmp(s, "error") == 0 || std::strcmp(s, "1") == 0) return LogLevel::kError;
+  if (std::strcmp(s, "warn") == 0 || std::strcmp(s, "2") == 0) return LogLevel::kWarn;
+  if (std::strcmp(s, "info") == 0 || std::strcmp(s, "3") == 0) return LogLevel::kInfo;
+  if (std::strcmp(s, "trace") == 0 || std::strcmp(s, "4") == 0) return LogLevel::kTrace;
+  return LogLevel::kOff;
+}
+
+std::atomic<int>& level_storage() noexcept {
+  static std::atomic<int> level{static_cast<int>(parse_level(std::getenv("BCSIM_LOG_LEVEL")))};
+  return level;
+}
+
+const char* level_name(LogLevel lvl) noexcept {
+  switch (lvl) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kOff: break;
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept { return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel lvl) noexcept {
+  level_storage().store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+void log_emit(LogLevel lvl, std::string_view component, std::uint64_t tick,
+              std::string_view text) {
+  std::fprintf(stderr, "[%s] t=%llu %.*s: %.*s\n", level_name(lvl),
+               static_cast<unsigned long long>(tick), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(text.size()), text.data());
+}
+
+}  // namespace bcsim::sim

@@ -1,0 +1,42 @@
+// Minimal leveled logging for protocol debugging.
+//
+// Logging is off by default and controlled at runtime (BCSIM_LOG_LEVEL env
+// var or set_log_level()). The hot path costs one integer compare when
+// disabled. Messages go to stderr and carry the simulated tick when a
+// Simulator is attached, which is what you actually need when debugging a
+// coherence protocol interleaving.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string_view>
+
+namespace bcsim::sim {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kWarn = 2, kInfo = 3, kTrace = 4 };
+
+/// Global log level; reads BCSIM_LOG_LEVEL ("off|error|warn|info|trace" or
+/// 0..4) on first use.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel lvl) noexcept;
+
+/// Sink for a fully formatted line (implementation writes to stderr).
+void log_emit(LogLevel lvl, std::string_view component, std::uint64_t tick,
+              std::string_view text);
+
+[[nodiscard]] inline bool log_enabled(LogLevel lvl) noexcept {
+  return static_cast<int>(lvl) <= static_cast<int>(log_level());
+}
+
+}  // namespace bcsim::sim
+
+/// Usage: BCSIM_LOG(kTrace, "dir", sim.now(), "block " << b << " busy");
+#define BCSIM_LOG(lvl, component, tick, expr)                                     \
+  do {                                                                            \
+    if (::bcsim::sim::log_enabled(::bcsim::sim::LogLevel::lvl)) {                 \
+      std::ostringstream bcsim_log_os_;                                           \
+      bcsim_log_os_ << expr;                                                      \
+      ::bcsim::sim::log_emit(::bcsim::sim::LogLevel::lvl, component, (tick),      \
+                             bcsim_log_os_.str());                                \
+    }                                                                             \
+  } while (false)

@@ -1,0 +1,93 @@
+// Deterministic, fast pseudo-random number generation for workload models.
+//
+// xoshiro256** (Blackman & Vigna) seeded through SplitMix64, which is the
+// recommended seeding procedure. We avoid std::mt19937_64 because its state
+// is large and its distributions are not reproducible across standard
+// library implementations; everything here is bit-exact on any platform,
+// which keeps simulation results reproducible from a seed alone.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace bcsim::sim {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: all-purpose 64-bit generator, period 2^256-1.
+class Rng {
+ public:
+  /// Seeds via SplitMix64 so that even seed=0 yields a good state.
+  explicit constexpr Rng(std::uint64_t seed = 0x5eedULL) noexcept { reseed(seed); }
+
+  constexpr void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  constexpr std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (bitmask rejection).
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    const int bits = 64 - std::countl_zero(bound - 1);
+    for (;;) {
+      const std::uint64_t x = next_u64() >> (64 - bits);
+      if (x < bound) return x;
+    }
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial: true with probability p.
+  constexpr bool chance(double p) noexcept { return next_double() < p; }
+
+  /// Uniform in [lo, hi] inclusive.
+  constexpr std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Geometric-ish backoff helper: uniform in [0, 2^exp) capped.
+  constexpr std::uint64_t backoff(unsigned exp, std::uint64_t cap) noexcept {
+    const std::uint64_t window = (exp >= 63) ? cap : ((1ULL << exp) < cap ? (1ULL << exp) : cap);
+    return next_below(window == 0 ? 1 : window);
+  }
+
+  /// Derives an independent stream (for per-processor generators).
+  constexpr Rng split() noexcept { return Rng(next_u64()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace bcsim::sim

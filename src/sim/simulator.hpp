@@ -1,0 +1,91 @@
+// Discrete-event simulator: global clock + event loop.
+//
+// One Simulator per experiment. Components keep a reference and use
+// schedule()/schedule_at() to enqueue future work. run() drains events until
+// the queue empties, a stop condition is hit, or a cycle budget expires.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+#include "sim/types.hpp"
+
+namespace bcsim::sim {
+
+/// Why the event loop returned.
+enum class RunResult {
+  kIdle,      ///< Event queue drained (the natural end of a simulation).
+  kStopped,   ///< stop() was called from inside an event.
+  kBudget,    ///< The cycle budget was exhausted (likely livelock or too-small budget).
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time in cycles.
+  [[nodiscard]] Tick now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run `delay` cycles from now.
+  void schedule(Tick delay, EventFn fn) { queue_.push(now_ + delay, std::move(fn)); }
+
+  /// Schedules `fn` at absolute time `at`; `at` must be >= now().
+  void schedule_at(Tick at, EventFn fn) {
+    if (at < now_) throw std::logic_error("Simulator: scheduling into the past");
+    queue_.push(at, std::move(fn));
+  }
+
+  /// Requests the event loop to return after the current event.
+  void stop() noexcept { stop_requested_ = true; }
+
+  /// Runs until the queue drains, stop() is called, or `max_cycles` have
+  /// elapsed since the start of this run() call (a safety net against
+  /// protocol livelock — hitting it is reported, never silent).
+  RunResult run(Tick max_cycles = kNever) {
+    stop_requested_ = false;
+    const Tick deadline = (max_cycles == kNever) ? kNever : saturating_add(now_, max_cycles);
+    while (!queue_.empty()) {
+      if (stop_requested_) return RunResult::kStopped;
+      const Tick t = queue_.next_tick();
+      if (t > deadline) return RunResult::kBudget;
+      auto [at, fn] = queue_.pop();
+      now_ = at;
+      ++events_processed_;
+      fn();
+    }
+    return stop_requested_ ? RunResult::kStopped : RunResult::kIdle;
+  }
+
+  /// Runs until simulated time reaches `until` (events at `until` included).
+  RunResult run_until(Tick until) {
+    stop_requested_ = false;
+    while (!queue_.empty() && queue_.next_tick() <= until) {
+      if (stop_requested_) return RunResult::kStopped;
+      auto [at, fn] = queue_.pop();
+      now_ = at;
+      ++events_processed_;
+      fn();
+    }
+    if (stop_requested_) return RunResult::kStopped;
+    if (now_ < until) now_ = until;
+    return RunResult::kIdle;
+  }
+
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+
+ private:
+  static Tick saturating_add(Tick a, Tick b) noexcept {
+    return (b > kNever - a) ? kNever : a + b;
+  }
+
+  EventQueue queue_;
+  Tick now_ = 0;
+  bool stop_requested_ = false;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace bcsim::sim

@@ -1,0 +1,17 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace bcsim::sim {
+
+std::size_t sweep_threads() noexcept {
+  if (const char* env = std::getenv("BCSIM_SWEEP_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(std::min<long>(v, 64));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, 16);
+}
+
+}  // namespace bcsim::sim

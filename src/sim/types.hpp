@@ -1,0 +1,42 @@
+// Fundamental vocabulary types shared by every bcsim component.
+//
+// All simulated time is in "machine cycles" (the paper's unit: one cache
+// cycle). All identifiers are strong-ish integer aliases; we keep them as
+// plain integers for arithmetic convenience but give them distinct names so
+// signatures document intent.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace bcsim {
+
+/// Simulated time, in machine (cache) cycles.
+using Tick = std::uint64_t;
+
+/// Identifies a processor node (0 .. n_nodes-1).
+using NodeId = std::uint32_t;
+
+/// Identifies a memory module (0 .. n_modules-1).
+using ModuleId = std::uint32_t;
+
+/// A word address in the shared address space. The unit is one word: the
+/// paper's machine is word-addressed with a block (line) of `block_words`
+/// words. Block id = addr / block_words.
+using Addr = std::uint64_t;
+
+/// A block (cache line) number: Addr / block_words.
+using BlockId = std::uint64_t;
+
+/// Value of one memory word. We simulate real data so protocol correctness
+/// is checkable end-to-end (e.g. the linear solver computes right answers
+/// through the coherence protocol). Doubles are carried via bit_cast.
+using Word = std::uint64_t;
+
+/// Sentinel for "no node" in queue pointers (paper: nil).
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel tick meaning "never"/"unset".
+inline constexpr Tick kNever = std::numeric_limits<Tick>::max();
+
+}  // namespace bcsim

@@ -1,0 +1,59 @@
+// Shared-data access helpers that dispatch on the configured data protocol.
+//
+// The paper's division of labor makes the *software* responsible for
+// choosing the right primitive per access (section 3). These helpers encode
+// the canonical choices so workloads stay protocol-agnostic:
+//
+//   * WBI machine: plain READ/WRITE are the coherent operations.
+//   * read-update machine:
+//       - reads of producer/consumer data subscribe with READ-UPDATE
+//         (updates are pushed thereafter);
+//       - one-shot reads use READ-GLOBAL (bypass, always fresh);
+//       - shared writes use WRITE-GLOBAL (buffered under BC);
+//       - accesses to data colocated with a held CBL lock are plain local
+//         READ/WRITE — the data rides the lock, and the unlock writes the
+//         block back (the paper's critical-section locality argument).
+#pragma once
+
+#include "core/config.hpp"
+#include "core/processor.hpp"
+#include "sim/task.hpp"
+
+namespace bcsim::workload {
+
+using core::DataProtocol;
+using core::Processor;
+
+/// Read shared data that will be read again (worth a subscription).
+inline sim::SimFuture<Word> shared_read(Processor& p, Addr a) {
+  return p.config().data_protocol == DataProtocol::kReadUpdate ? p.read_update(a)
+                                                               : p.read(a);
+}
+
+/// Read shared data once (no subscription; always-fresh value).
+inline sim::SimFuture<Word> shared_read_once(Processor& p, Addr a) {
+  return p.config().data_protocol == DataProtocol::kReadUpdate ? p.read_global(a)
+                                                               : p.read(a);
+}
+
+/// Write shared data (globally visible; buffered under BC).
+inline sim::SimFuture<Word> shared_write(Processor& p, Addr a, Word v) {
+  return p.config().data_protocol == DataProtocol::kReadUpdate ? p.write_global(a, v)
+                                                               : p.write(a, v);
+}
+
+/// Read inside a critical section. `rides_lock` says the word lives in the
+/// block of the held CBL lock (delivered by the grant).
+inline sim::SimFuture<Word> cs_read(Processor& p, Addr a, bool rides_lock) {
+  if (p.config().data_protocol != DataProtocol::kReadUpdate) return p.read(a);
+  return rides_lock ? p.read(a) : p.read_global(a);
+}
+
+/// Write inside a critical section. Writes to non-lock-resident data use
+/// WRITE-GLOBAL; the CP-Synch flush at unlock makes them visible in order.
+inline sim::SimFuture<Word> cs_write(Processor& p, Addr a, Word v, bool rides_lock) {
+  if (p.config().data_protocol != DataProtocol::kReadUpdate) return p.write(a, v);
+  return rides_lock ? p.write(a, v) : p.write_global(a, v);
+}
+
+}  // namespace bcsim::workload

@@ -1,0 +1,56 @@
+// Phased butterfly-exchange workload (paper section 4.2): "in parallel FFT
+// programs, readers may need access to different regions of a shared data
+// structure during different phases of the computation ... the program may
+// selectively reset the update bit for certain regions and request the
+// regions to be used in the current phase using the read-update primitive."
+//
+// Each processor owns one region (a block) of a shared array. In phase s,
+// processor i combines its region with that of partner i XOR 2^s: it
+// subscribes to the partner's region with READ-UPDATE, combines, publishes
+// its new region with WRITE-GLOBAL, unsubscribes from the old partner with
+// RESET-UPDATE, and crosses a barrier. The computation is an exclusive-scan
+// butterfly over integer data so the final state is checkable exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "core/sync/barrier.hpp"
+#include "sim/task.hpp"
+
+namespace bcsim::workload {
+
+struct FftPhasesConfig {
+  std::uint32_t words_per_region = 4;  ///< region size (defaults to one block)
+  std::uint64_t data_seed = 7;
+};
+
+class FftPhasesWorkload {
+ public:
+  FftPhasesWorkload(core::Machine& machine, FftPhasesConfig cfg);
+
+  sim::Task run(core::Processor& p);
+  void spawn_all(core::Machine& machine);
+
+  /// Expected region contents after all phases (host-side butterfly).
+  [[nodiscard]] std::vector<std::vector<Word>> expected() const;
+  /// Actual region contents read back from simulated memory.
+  [[nodiscard]] std::vector<std::vector<Word>> actual(const core::Machine& machine) const;
+
+  [[nodiscard]] std::uint32_t phases() const noexcept { return phases_; }
+
+ private:
+  [[nodiscard]] Addr region_addr(std::uint32_t owner, std::uint32_t w) const;
+
+  FftPhasesConfig cfg_;
+  std::uint32_t n_;       ///< participants (rounded down to a power of two)
+  std::uint32_t phases_;  ///< log2(n)
+  core::AddressAllocator alloc_;
+  Addr base_;
+  std::vector<std::vector<Word>> init_;
+  std::unique_ptr<sync::Barrier> barrier_;
+};
+
+}  // namespace bcsim::workload

@@ -1,0 +1,63 @@
+// Deterministic iterative linear equation solver (paper section 4.1):
+// Jacobi iteration x_i^(k+1) = (b_i - sum_{j!=i} a_ij x_j^(k)) / a_ii on a
+// diagonally dominant system, one x element owned per processor, a barrier
+// between iterations. This is the workload behind paper Table 2: the x
+// vector is the shared read-write data, and its allocation is switchable
+// between colocated (inv-I) and one-element-per-block (inv-II).
+//
+// Values are doubles carried through the simulated memory via bit_cast, so
+// the test suite can assert that the machine — through whichever coherence
+// protocol — actually computes the right answer.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "core/sync/barrier.hpp"
+#include "sim/task.hpp"
+
+namespace bcsim::workload {
+
+struct LinearSolverConfig {
+  std::uint32_t iterations = 8;
+  bool separate_x_blocks = false;  ///< false: colocate x (inv-I); true: inv-II
+  std::uint64_t matrix_seed = 42;
+};
+
+class LinearSolverWorkload {
+ public:
+  /// System dimension == number of processors (the paper's dance-hall
+  /// analysis setup).
+  LinearSolverWorkload(core::Machine& machine, LinearSolverConfig cfg);
+
+  sim::Task run(core::Processor& p);
+  void spawn_all(core::Machine& machine);
+
+  /// Reads x back from simulated memory (after the run).
+  [[nodiscard]] std::vector<double> solution(const core::Machine& machine) const;
+  /// Host-side reference: the same Jacobi iterations computed natively.
+  [[nodiscard]] std::vector<double> reference() const;
+  /// Max |Ax - b| residual of the simulated solution.
+  [[nodiscard]] double residual(const core::Machine& machine) const;
+
+  [[nodiscard]] static Word pack(double d) noexcept { return std::bit_cast<Word>(d); }
+  [[nodiscard]] static double unpack(Word w) noexcept { return std::bit_cast<double>(w); }
+
+ private:
+  [[nodiscard]] Addr x_addr(std::uint32_t i) const;
+
+  LinearSolverConfig cfg_;
+  std::uint32_t n_;
+  core::AddressAllocator alloc_;
+  std::vector<double> a_;  ///< n x n matrix (host copy; read-only shared data)
+  std::vector<double> b_;
+  Addr a_base_;
+  Addr b_base_;
+  Addr x_base_;
+  std::unique_ptr<sync::Barrier> barrier_;
+};
+
+}  // namespace bcsim::workload

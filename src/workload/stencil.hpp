@@ -1,0 +1,56 @@
+// Red-black 1D relaxation (Gauss-Seidel smoothing of a Laplace problem):
+// the classic nearest-neighbor-sharing workload. Each processor owns a
+// contiguous chunk of the vector; only chunk-boundary cells are shared
+// (neighbors read them as halos), so this exercises exactly the paper's
+// intended READ-UPDATE usage — a reader subscribes to the few remote words
+// it keeps re-reading, and the owner's WRITE-GLOBAL pushes each new value.
+//
+// Red cells (even index) update from black neighbors and vice versa, with
+// a barrier between half-sweeps, so the computation is deterministic and
+// the test suite compares it bit-exactly against a host reference.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "core/sync/barrier.hpp"
+#include "sim/task.hpp"
+
+namespace bcsim::workload {
+
+struct StencilConfig {
+  std::uint32_t cells_per_proc = 8;  ///< chunk size (total = n_nodes * this)
+  std::uint32_t sweeps = 6;          ///< full red+black sweeps
+  std::uint64_t data_seed = 11;
+};
+
+class StencilWorkload {
+ public:
+  StencilWorkload(core::Machine& machine, StencilConfig cfg);
+
+  sim::Task run(core::Processor& p);
+  void spawn_all(core::Machine& machine);
+
+  /// Host-side reference (same sweep structure, same FP order).
+  [[nodiscard]] std::vector<double> reference() const;
+  /// Vector read back from simulated memory.
+  [[nodiscard]] std::vector<double> result(const core::Machine& machine) const;
+
+  [[nodiscard]] std::uint32_t total_cells() const noexcept { return total_; }
+
+ private:
+  [[nodiscard]] Addr cell_addr(std::uint32_t i) const { return base_ + i; }
+  [[nodiscard]] bool chunk_boundary(std::uint32_t i) const;
+
+  StencilConfig cfg_;
+  std::uint32_t n_;
+  std::uint32_t total_;
+  core::AddressAllocator alloc_;
+  Addr base_;
+  std::vector<double> init_;
+  std::unique_ptr<sync::Barrier> barrier_;
+};
+
+}  // namespace bcsim::workload

@@ -1,0 +1,196 @@
+#include "workload/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bcsim::workload {
+
+using core::Machine;
+using core::Processor;
+
+std::string_view to_string(TraceOp op) noexcept {
+  switch (op) {
+    case TraceOp::kRead: return "r";
+    case TraceOp::kWrite: return "w";
+    case TraceOp::kReadGlobal: return "rg";
+    case TraceOp::kWriteGlobal: return "wg";
+    case TraceOp::kReadUpdate: return "ru";
+    case TraceOp::kResetUpdate: return "xu";
+    case TraceOp::kFlushBuffer: return "fl";
+    case TraceOp::kReadLock: return "rl";
+    case TraceOp::kWriteLock: return "wl";
+    case TraceOp::kUnlock: return "ul";
+    case TraceOp::kCompute: return "c";
+    case TraceOp::kTestAndSet: return "ts";
+    case TraceOp::kFetchAdd: return "fa";
+  }
+  return "?";
+}
+
+TraceOp parse_trace_op(std::string_view s) {
+  if (s == "r") return TraceOp::kRead;
+  if (s == "w") return TraceOp::kWrite;
+  if (s == "rg") return TraceOp::kReadGlobal;
+  if (s == "wg") return TraceOp::kWriteGlobal;
+  if (s == "ru") return TraceOp::kReadUpdate;
+  if (s == "xu") return TraceOp::kResetUpdate;
+  if (s == "fl") return TraceOp::kFlushBuffer;
+  if (s == "rl") return TraceOp::kReadLock;
+  if (s == "wl") return TraceOp::kWriteLock;
+  if (s == "ul") return TraceOp::kUnlock;
+  if (s == "c") return TraceOp::kCompute;
+  if (s == "ts") return TraceOp::kTestAndSet;
+  if (s == "fa") return TraceOp::kFetchAdd;
+  throw std::invalid_argument("trace: unknown op '" + std::string(s) + "'");
+}
+
+namespace {
+bool op_has_addr(TraceOp op) { return op != TraceOp::kFlushBuffer; }
+bool op_has_value(TraceOp op) {
+  return op == TraceOp::kWrite || op == TraceOp::kWriteGlobal || op == TraceOp::kFetchAdd;
+}
+}  // namespace
+
+Trace Trace::parse(std::istream& in) {
+  Trace t;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    TraceRecord r;
+    std::string op;
+    std::uint64_t proc = 0;
+    if (!(ls >> proc >> op)) {
+      throw std::invalid_argument("trace: malformed line " + std::to_string(lineno));
+    }
+    r.proc = static_cast<NodeId>(proc);
+    r.op = parse_trace_op(op);
+    if (op_has_addr(r.op) && !(ls >> r.addr)) {
+      throw std::invalid_argument("trace: missing address on line " + std::to_string(lineno));
+    }
+    if (op_has_value(r.op) && !(ls >> r.value)) {
+      throw std::invalid_argument("trace: missing value on line " + std::to_string(lineno));
+    }
+    t.append(r);
+  }
+  return t;
+}
+
+Trace Trace::parse_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+void Trace::write(std::ostream& out) const {
+  for (const auto& r : records_) {
+    out << r.proc << ' ' << to_string(r.op);
+    if (op_has_addr(r.op)) out << ' ' << r.addr;
+    if (op_has_value(r.op)) out << ' ' << r.value;
+    out << '\n';
+  }
+}
+
+std::vector<std::vector<TraceRecord>> Trace::per_processor(std::uint32_t n_nodes) const {
+  std::vector<std::vector<TraceRecord>> streams(n_nodes);
+  for (const auto& r : records_) {
+    if (r.proc >= n_nodes) {
+      throw std::invalid_argument("trace: record for processor " + std::to_string(r.proc) +
+                                  " on a machine with " + std::to_string(n_nodes) + " nodes");
+    }
+    streams[r.proc].push_back(r);
+  }
+  return streams;
+}
+
+namespace {
+
+/// Maps a primitive-hook event to a trace record; returns false for
+/// events with no trace representation (raw swap / compare-swap).
+bool to_record(NodeId proc, core::PrimitiveOp op, Addr a, Word v, TraceRecord& out) {
+  out.proc = proc;
+  out.addr = a;
+  out.value = v;
+  switch (op) {
+    case core::PrimitiveOp::kRead: out.op = TraceOp::kRead; return true;
+    case core::PrimitiveOp::kWrite: out.op = TraceOp::kWrite; return true;
+    case core::PrimitiveOp::kReadGlobal: out.op = TraceOp::kReadGlobal; return true;
+    case core::PrimitiveOp::kWriteGlobal: out.op = TraceOp::kWriteGlobal; return true;
+    case core::PrimitiveOp::kReadUpdate: out.op = TraceOp::kReadUpdate; return true;
+    case core::PrimitiveOp::kResetUpdate: out.op = TraceOp::kResetUpdate; return true;
+    case core::PrimitiveOp::kFlushBuffer: out.op = TraceOp::kFlushBuffer; return true;
+    case core::PrimitiveOp::kReadLock: out.op = TraceOp::kReadLock; return true;
+    case core::PrimitiveOp::kWriteLock: out.op = TraceOp::kWriteLock; return true;
+    case core::PrimitiveOp::kUnlock: out.op = TraceOp::kUnlock; return true;
+    case core::PrimitiveOp::kTestAndSet: out.op = TraceOp::kTestAndSet; return true;
+    case core::PrimitiveOp::kFetchAdd: out.op = TraceOp::kFetchAdd; return true;
+    case core::PrimitiveOp::kCompute:
+      out.op = TraceOp::kCompute;
+      return true;  // addr carries the cycle count
+    case core::PrimitiveOp::kRmw:
+    case core::PrimitiveOp::kBarrier:
+      return false;  // no direct trace mnemonic
+  }
+  return false;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(Machine& machine) : machine_(&machine) {
+  for (NodeId i = 0; i < machine.n_nodes(); ++i) {
+    machine.processor(i).set_hook(
+        [this, i](core::PrimitiveOp op, Addr a, Word v) {
+          TraceRecord r;
+          if (to_record(i, op, a, v, r)) trace_.append(r);
+        });
+  }
+}
+
+TraceRecorder::~TraceRecorder() { detach(); }
+
+void TraceRecorder::detach() {
+  if (machine_ == nullptr) return;
+  for (NodeId i = 0; i < machine_->n_nodes(); ++i) {
+    machine_->processor(i).clear_hook();
+  }
+  machine_ = nullptr;
+}
+
+TraceWorkload::TraceWorkload(Machine& machine, Trace trace)
+    : streams_(trace.per_processor(machine.n_nodes())), checksums_(machine.n_nodes(), 0) {}
+
+sim::Task TraceWorkload::run(Processor& p, const std::vector<TraceRecord>& stream) {
+  Word sum = 0;
+  for (const auto& r : stream) {
+    switch (r.op) {
+      case TraceOp::kRead: sum += co_await p.read(r.addr); break;
+      case TraceOp::kWrite: co_await p.write(r.addr, r.value); break;
+      case TraceOp::kReadGlobal: sum += co_await p.read_global(r.addr); break;
+      case TraceOp::kWriteGlobal: co_await p.write_global(r.addr, r.value); break;
+      case TraceOp::kReadUpdate: sum += co_await p.read_update(r.addr); break;
+      case TraceOp::kResetUpdate: co_await p.reset_update(r.addr); break;
+      case TraceOp::kFlushBuffer: co_await p.flush_buffer(); break;
+      case TraceOp::kReadLock: co_await p.read_lock(r.addr); break;
+      case TraceOp::kWriteLock: co_await p.write_lock(r.addr); break;
+      case TraceOp::kUnlock: co_await p.unlock(r.addr); break;
+      case TraceOp::kCompute: co_await p.compute(r.addr); break;
+      case TraceOp::kTestAndSet: sum += co_await p.test_and_set(r.addr); break;
+      case TraceOp::kFetchAdd: sum += co_await p.fetch_add(r.addr, r.value); break;
+    }
+  }
+  checksums_[p.id()] = sum;
+}
+
+void TraceWorkload::spawn_all(Machine& machine) {
+  for (NodeId i = 0; i < machine.n_nodes(); ++i) {
+    if (!streams_[i].empty()) {
+      machine.spawn(run(machine.processor(i), streams_[i]));
+    }
+  }
+}
+
+}  // namespace bcsim::workload

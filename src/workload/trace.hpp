@@ -1,0 +1,110 @@
+// Trace-driven simulation (listed as future work in the paper's
+// conclusions; implemented here). A trace is a per-processor sequence of
+// operations in a simple text format, one record per line:
+//
+//   <proc> <op> [<addr>] [<value>]
+//
+//   ops: r  read            w  write          rg read-global
+//        wg write-global    ru read-update    xu reset-update
+//        fl flush-buffer    rl read-lock      wl write-lock
+//        ul unlock          c  compute        ts test-and-set
+//        fa fetch-add
+//
+// Lines starting with '#' are comments. The runner replays each
+// processor's stream through the Table-1 primitives; the writer emits the
+// same format, so traces can be captured, edited, and replayed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "sim/task.hpp"
+
+namespace bcsim::workload {
+
+enum class TraceOp : std::uint8_t {
+  kRead, kWrite, kReadGlobal, kWriteGlobal, kReadUpdate, kResetUpdate,
+  kFlushBuffer, kReadLock, kWriteLock, kUnlock, kCompute, kTestAndSet, kFetchAdd,
+};
+
+struct TraceRecord {
+  NodeId proc = 0;
+  TraceOp op = TraceOp::kRead;
+  Addr addr = 0;    ///< address, or cycle count for kCompute
+  Word value = 0;
+};
+
+[[nodiscard]] std::string_view to_string(TraceOp op) noexcept;
+/// Parses an op mnemonic; throws std::invalid_argument on unknown input.
+[[nodiscard]] TraceOp parse_trace_op(std::string_view s);
+
+class Trace {
+ public:
+  Trace() = default;
+
+  void append(TraceRecord r) { records_.push_back(r); }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept { return records_; }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// Parses the text format; throws std::invalid_argument with a line
+  /// number on malformed input.
+  static Trace parse(std::istream& in);
+  static Trace parse_string(const std::string& text);
+  void write(std::ostream& out) const;
+
+  /// Splits into per-processor streams (program order preserved).
+  [[nodiscard]] std::vector<std::vector<TraceRecord>> per_processor(
+      std::uint32_t n_nodes) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Captures the primitive streams of a running machine into a Trace
+/// (paper future work: "trace-driven simulation ... is also being
+/// investigated" — this is the capture half of that pipeline; replay is
+/// TraceWorkload). Attach before run(), detach (or destroy) after.
+/// Limitation: raw swap/compare-swap RMWs have no trace mnemonic and are
+/// recorded as fetch-add of 0 with a comment-free best effort — the
+/// sync-library algorithms use test&set / fetch&add, which round-trip
+/// exactly.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(core::Machine& machine);
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Stops recording and detaches the hooks.
+  void detach();
+
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+  [[nodiscard]] Trace take() { return std::move(trace_); }
+
+ private:
+  core::Machine* machine_;
+  Trace trace_;
+};
+
+/// Replays a trace on a machine: one program per processor that has
+/// records. Returns the sum of read values per processor (a cheap checksum
+/// tests can assert on).
+class TraceWorkload {
+ public:
+  TraceWorkload(core::Machine& machine, Trace trace);
+
+  void spawn_all(core::Machine& machine);
+  [[nodiscard]] const std::vector<Word>& checksums() const noexcept { return checksums_; }
+
+ private:
+  sim::Task run(core::Processor& p, const std::vector<TraceRecord>& stream);
+
+  std::vector<std::vector<TraceRecord>> streams_;
+  std::vector<Word> checksums_;
+};
+
+}  // namespace bcsim::workload

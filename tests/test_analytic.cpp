@@ -1,0 +1,138 @@
+// Analytical model tests: the Table 2 / Table 3 formulas evaluated against
+// hand-computed values and their asymptotic claims.
+#include <gtest/gtest.h>
+
+#include "analytic/table2.hpp"
+#include "analytic/table3.hpp"
+
+namespace bcsim::analytic {
+namespace {
+
+TEST(Table2, ReadUpdateRowsMatchHandComputation) {
+  // n=8, B=4, C_B=6, C_W=2, C_I=1, C_R=1.
+  CostConstants c;
+  const auto ru = solver_traffic(Scheme::kReadUpdate, 8, 4, c);
+  EXPECT_DOUBLE_EQ(ru.initial_load, 2 * 6.0);       // ceil(8/4) C_B
+  EXPECT_DOUBLE_EQ(ru.write, 2.0 + 7 * 6.0);        // C_W + (n-1) C_B
+  EXPECT_DOUBLE_EQ(ru.read, 0.0);
+}
+
+TEST(Table2, InvIRowsMatchHandComputation) {
+  CostConstants c;
+  const auto i1 = solver_traffic(Scheme::kInvColocated, 8, 4, c);
+  EXPECT_DOUBLE_EQ(i1.initial_load, 12.0);
+  // (1/4)(1 + 7*1) + (3/4)(2 + 12) = 2 + 10.5
+  EXPECT_DOUBLE_EQ(i1.write, 12.5);
+  // (1/4)(2-1)*6 + (3/4)*2*6 = 1.5 + 9
+  EXPECT_DOUBLE_EQ(i1.read, 10.5);
+}
+
+TEST(Table2, InvIIRowsMatchHandComputation) {
+  CostConstants c;
+  const auto i2 = solver_traffic(Scheme::kInvSeparate, 8, 4, c);
+  EXPECT_DOUBLE_EQ(i2.initial_load, 48.0);  // n C_B
+  EXPECT_DOUBLE_EQ(i2.write, 1.0 + 7.0);    // C_R + (n-1) C_I
+  EXPECT_DOUBLE_EQ(i2.read, 42.0);          // (n-1) C_B
+}
+
+TEST(Table2, ReadUpdateWinsReadsAtScale) {
+  // The qualitative claim: read of the next iteration strongly favors
+  // read-update, for all n and B.
+  for (std::uint32_t n : {4u, 16u, 64u, 256u}) {
+    for (std::uint32_t B : {2u, 4u, 8u}) {
+      const auto ru = solver_traffic(Scheme::kReadUpdate, n, B);
+      const auto i1 = solver_traffic(Scheme::kInvColocated, n, B);
+      const auto i2 = solver_traffic(Scheme::kInvSeparate, n, B);
+      EXPECT_LT(ru.read, i1.read);
+      EXPECT_LT(ru.read, i2.read);
+    }
+  }
+}
+
+TEST(Table2, SeparateAllocationTradesWritesForReads) {
+  // At moderate n, inv-II has cheaper writes (no false-sharing ping-pong)
+  // but more expensive reads than inv-I (paper: "Though separate
+  // allocation reduces the overhead for write, read of the next iteration
+  // will incur more overhead"). At large n the write relation flips as
+  // the n-1 invalidations dominate — both regimes are checked.
+  const auto i1 = solver_traffic(Scheme::kInvColocated, 8, 4);
+  const auto i2 = solver_traffic(Scheme::kInvSeparate, 8, 4);
+  EXPECT_LT(i2.write, i1.write);
+  EXPECT_GT(i2.read, i1.read);
+  const auto big1 = solver_traffic(Scheme::kInvColocated, 256, 4);
+  const auto big2 = solver_traffic(Scheme::kInvSeparate, 256, 4);
+  EXPECT_GT(big2.write, big1.write) << "invalidation count dominates at scale";
+}
+
+TEST(Table2, LatencyViewCollapsesParallelTransfers) {
+  const auto traffic = solver_traffic(Scheme::kReadUpdate, 64, 4);
+  const auto latency = solver_latency(Scheme::kReadUpdate, 64, 4);
+  EXPECT_GT(traffic.write, latency.write);
+  EXPECT_DOUBLE_EQ(latency.read, 0.0);
+}
+
+TEST(Table2, InvalidArgumentsThrow) {
+  EXPECT_THROW(static_cast<void>(solver_traffic(Scheme::kReadUpdate, 0, 4)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(solver_traffic(Scheme::kReadUpdate, 4, 0)),
+               std::invalid_argument);
+}
+
+TEST(Table3, SerialLockMatchesPaperRow) {
+  TimeConstants t;
+  const auto wbi = wbi_cost(SyncScenario::kSerialLock, 16, t);
+  const auto cbl = cbl_cost(SyncScenario::kSerialLock, 16, t);
+  EXPECT_DOUBLE_EQ(wbi.messages, 8.0);
+  EXPECT_DOUBLE_EQ(cbl.messages, 3.0);
+  // 8 t_nw + 5 t_D + t_m + t_cs = 48 + 5 + 4 + 50
+  EXPECT_DOUBLE_EQ(wbi.time, 107.0);
+  // 3 t_nw + t_D + t_cs = 18 + 1 + 50
+  EXPECT_DOUBLE_EQ(cbl.time, 69.0);
+}
+
+TEST(Table3, ParallelLockMessagesMatchPaperRow) {
+  const auto wbi = wbi_cost(SyncScenario::kParallelLock, 10);
+  const auto cbl = cbl_cost(SyncScenario::kParallelLock, 10);
+  EXPECT_DOUBLE_EQ(wbi.messages, 6 * 100.0 + 40.0);  // 6n^2 + 4n
+  EXPECT_DOUBLE_EQ(cbl.messages, 57.0);              // 6n - 3
+}
+
+TEST(Table3, BarrierRowsMatchPaper) {
+  TimeConstants t;
+  const auto wbi_req = wbi_cost(SyncScenario::kBarrierRequest, 8, t);
+  const auto cbl_req = cbl_cost(SyncScenario::kBarrierRequest, 8, t);
+  EXPECT_DOUBLE_EQ(wbi_req.messages, 18.0);
+  EXPECT_DOUBLE_EQ(cbl_req.messages, 2.0);
+  EXPECT_DOUBLE_EQ(cbl_req.time, 2 * (t.t_nw + t.t_m));
+  const auto wbi_not = wbi_cost(SyncScenario::kBarrierNotify, 8, t);
+  const auto cbl_not = cbl_cost(SyncScenario::kBarrierNotify, 8, t);
+  EXPECT_DOUBLE_EQ(wbi_not.messages, 37.0);  // 5n - 3
+  EXPECT_DOUBLE_EQ(cbl_not.messages, 8.0);   // n
+}
+
+TEST(Table3, ParallelLockComplexityClasses) {
+  // CBL is O(n) in messages and time; WBI is O(n^2): doubling n should
+  // roughly double CBL and roughly quadruple WBI.
+  const auto w1 = wbi_cost(SyncScenario::kParallelLock, 64);
+  const auto w2 = wbi_cost(SyncScenario::kParallelLock, 128);
+  const auto c1 = cbl_cost(SyncScenario::kParallelLock, 64);
+  const auto c2 = cbl_cost(SyncScenario::kParallelLock, 128);
+  EXPECT_NEAR(w2.messages / w1.messages, 4.0, 0.15);
+  EXPECT_NEAR(c2.messages / c1.messages, 2.0, 0.15);
+  EXPECT_GT(w2.time / w1.time, 3.0);
+  EXPECT_LT(c2.time / c1.time, 2.5);
+}
+
+TEST(Table3, CblBeatsWbiEverywhere) {
+  for (std::uint32_t n : {2u, 8u, 32u, 128u}) {
+    for (auto s : {SyncScenario::kParallelLock, SyncScenario::kSerialLock,
+                   SyncScenario::kBarrierRequest, SyncScenario::kBarrierNotify}) {
+      EXPECT_LT(cbl_cost(s, n).messages, wbi_cost(s, n).messages)
+          << to_string(s) << " n=" << n;
+      EXPECT_LT(cbl_cost(s, n).time, wbi_cost(s, n).time) << to_string(s) << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bcsim::analytic

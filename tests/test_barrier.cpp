@@ -1,0 +1,148 @@
+// Barrier tests: the hardware (CBL) barrier with chained release and the
+// software sense-reversing central barrier, on both machines.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sync/barrier.hpp"
+#include "test_util.hpp"
+
+namespace bcsim {
+namespace {
+
+using core::BarrierImpl;
+using core::Machine;
+using core::MachineConfig;
+using core::Processor;
+using test::paper_config;
+using test::run_all;
+using test::small_config;
+
+struct BarrierParam {
+  BarrierImpl impl;
+  bool paper_machine;
+};
+
+class BarrierCorrectness : public ::testing::TestWithParam<BarrierParam> {
+ protected:
+  MachineConfig config(std::uint32_t n) const {
+    auto cfg = GetParam().paper_machine ? paper_config(n) : small_config(n);
+    cfg.barrier_impl = GetParam().impl;
+    cfg.network = core::NetworkKind::kOmega;
+    return cfg;
+  }
+};
+
+TEST_P(BarrierCorrectness, NoOneCrossesEarly) {
+  constexpr std::uint32_t n = 8;
+  Machine m(config(n));
+  auto alloc = m.make_allocator(200);
+  auto bar = sync::make_barrier(GetParam().impl, alloc, n);
+  constexpr int kPhases = 6;
+  std::vector<int> phase_of(n, 0);
+  bool violation = false;
+  auto prog = [&](Processor& p) -> sim::Task {
+    auto& rng = p.rng();
+    for (int ph = 0; ph < kPhases; ++ph) {
+      co_await p.compute(1 + rng.next_below(200));  // skewed arrivals
+      phase_of[p.id()] = ph + 1;
+      co_await bar->wait(p);
+      // After the barrier, every processor must have finished this phase.
+      for (std::uint32_t j = 0; j < n; ++j) {
+        if (phase_of[j] < ph + 1) violation = true;
+      }
+    }
+  };
+  for (NodeId i = 0; i < n; ++i) m.spawn(prog(m.processor(i)));
+  run_all(m);
+  EXPECT_FALSE(violation) << "a processor crossed the barrier early";
+}
+
+TEST_P(BarrierCorrectness, ReusableAcrossManyPhases) {
+  constexpr std::uint32_t n = 4;
+  Machine m(config(n));
+  auto alloc = m.make_allocator(200);
+  auto bar = sync::make_barrier(GetParam().impl, alloc, n);
+  int crossings = 0;
+  auto prog = [&](Processor& p) -> sim::Task {
+    for (int ph = 0; ph < 20; ++ph) {
+      co_await bar->wait(p);
+      ++crossings;
+    }
+  };
+  for (NodeId i = 0; i < n; ++i) m.spawn(prog(m.processor(i)));
+  run_all(m);
+  EXPECT_EQ(crossings, 80);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Impls, BarrierCorrectness,
+    ::testing::Values(BarrierParam{BarrierImpl::kCbl, true},
+                      BarrierParam{BarrierImpl::kCentral, true},
+                      BarrierParam{BarrierImpl::kCentral, false},
+                      BarrierParam{BarrierImpl::kTree, true},
+                      BarrierParam{BarrierImpl::kTree, false}),
+    [](const auto& pinfo) {
+      std::string name(core::to_string(pinfo.param.impl));
+      name += pinfo.param.paper_machine ? "OnRuMachine" : "OnWbiMachine";
+      return name;
+    });
+
+TEST(CblBarrier, LastArriverReleasesImmediately) {
+  constexpr std::uint32_t n = 4;
+  Machine m(paper_config(n));
+  auto alloc = m.make_allocator(200);
+  sync::CblBarrier bar(alloc, n);
+  std::vector<Tick> wait_costs(n);
+  auto prog = [&](Processor& p, Tick arrive_at) -> sim::Task {
+    co_await p.compute(arrive_at);
+    const Tick t0 = p.simulator().now();
+    co_await bar.wait(p);
+    wait_costs[p.id()] = p.simulator().now() - t0;
+  };
+  for (NodeId i = 0; i < n; ++i) {
+    m.spawn(prog(m.processor(i), i == 3 ? 1000 : 10 * static_cast<Tick>(i)));
+  }
+  run_all(m);
+  // Early arrivers waited out the straggler; the straggler only paid the
+  // round trip.
+  EXPECT_GT(wait_costs[0], 800u);
+  EXPECT_LT(wait_costs[3], 200u);
+}
+
+TEST(CblBarrier, ChainedReleaseCountsMessages) {
+  constexpr std::uint32_t n = 8;
+  Machine m(paper_config(n));
+  auto alloc = m.make_allocator(200);
+  sync::CblBarrier bar(alloc, n);
+  auto prog = [&](Processor& p) -> sim::Task { co_await bar.wait(p); };
+  for (NodeId i = 0; i < n; ++i) m.spawn(prog(m.processor(i)));
+  run_all(m);
+  // Paper Table 3: barrier request = 2 messages per processor (arrive +
+  // ack) and barrier notify ~ n chained messages total.
+  EXPECT_EQ(m.stats().counter_value("net.msg.BarArrive"), n);
+  EXPECT_EQ(m.stats().counter_value("net.msg.BarArriveAck"), n);
+  EXPECT_EQ(m.stats().counter_value("net.msg.BarRelease"), n - 1u);
+}
+
+TEST(CblBarrier, TwoIndependentBarriersDontInterfere) {
+  constexpr std::uint32_t n = 8;  // two groups of 4
+  Machine m(paper_config(n));
+  auto alloc = m.make_allocator(200);
+  sync::CblBarrier bar_a(alloc, 4);
+  sync::CblBarrier bar_b(alloc, 4);
+  int crossings = 0;
+  auto prog = [&](Processor& p, sync::CblBarrier& bar) -> sim::Task {
+    for (int ph = 0; ph < 5; ++ph) {
+      co_await bar.wait(p);
+      ++crossings;
+    }
+  };
+  for (NodeId i = 0; i < 4; ++i) m.spawn(prog(m.processor(i), bar_a));
+  for (NodeId i = 4; i < 8; ++i) m.spawn(prog(m.processor(i), bar_b));
+  run_all(m);
+  EXPECT_EQ(crossings, 40);
+}
+
+}  // namespace
+}  // namespace bcsim

@@ -1,0 +1,103 @@
+// Latency-histogram and CSV-export tests: the instrumentation the bench
+// harnesses and users rely on must itself be correct.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.hpp"
+
+namespace bcsim {
+namespace {
+
+using core::Machine;
+using core::Processor;
+using test::paper_config;
+using test::run_all;
+using test::small_config;
+
+TEST(Latency, ReadMissHistogramMatchesObservedLatency) {
+  Machine m(small_config(2));
+  Tick observed = 0;
+  auto prog = [&](Processor& p) -> sim::Task {
+    const Tick t0 = p.simulator().now();
+    co_await p.read(100);
+    observed = p.simulator().now() - t0;
+  };
+  m.spawn(prog(m.processor(0)));
+  run_all(m);
+  const auto* h = m.stats().find_histogram("lat.read_miss");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_EQ(h->sum(), observed);
+}
+
+TEST(Latency, HitsAreNotRecordedAsMisses) {
+  Machine m(small_config(2));
+  auto prog = [&](Processor& p) -> sim::Task {
+    co_await p.read(100);  // miss
+    for (int i = 0; i < 10; ++i) co_await p.read(101);  // hits
+  };
+  m.spawn(prog(m.processor(0)));
+  run_all(m);
+  EXPECT_EQ(m.stats().find_histogram("lat.read_miss")->count(), 1u);
+}
+
+TEST(Latency, LockAcquireLatencyGrowsWithContention) {
+  auto run_locks = [](std::uint32_t n) {
+    Machine m(paper_config(n));
+    const Addr lock = 16;
+    auto prog = [&](Processor& p) -> sim::Task {
+      for (int k = 0; k < 5; ++k) {
+        co_await p.write_lock(lock);
+        co_await p.compute(50);
+        co_await p.unlock(lock);
+      }
+    };
+    std::deque<sim::Task> progs;
+    for (NodeId i = 0; i < n; ++i) m.spawn(prog(m.processor(i)));
+    m.run(50'000'000);
+    const auto* h = m.stats().find_histogram("lat.lock_acquire");
+    return h == nullptr ? 0.0 : h->mean();
+  };
+  const double solo = run_locks(1);
+  const double contended = run_locks(8);
+  EXPECT_GT(solo, 0.0);
+  EXPECT_GT(contended, 3 * solo) << "queued waiters must show in acquire latency";
+}
+
+TEST(Latency, RmwAndReadUpdateHistogramsPopulate) {
+  Machine m(paper_config(4));
+  auto prog = [&](Processor& p) -> sim::Task {
+    co_await p.fetch_add(200, 1);
+    co_await p.read_update(204);
+  };
+  m.spawn(prog(m.processor(0)));
+  run_all(m);
+  ASSERT_NE(m.stats().find_histogram("lat.rmw"), nullptr);
+  ASSERT_NE(m.stats().find_histogram("lat.read_update"), nullptr);
+  EXPECT_EQ(m.stats().find_histogram("lat.rmw")->count(), 1u);
+  EXPECT_EQ(m.stats().find_histogram("lat.read_update")->count(), 1u);
+  // Latencies are round trips, not absolute timestamps.
+  EXPECT_LT(m.stats().find_histogram("lat.read_update")->max(), 200u);
+}
+
+TEST(Csv, ExportContainsEveryStatistic) {
+  Machine m(paper_config(2));
+  auto prog = [&](Processor& p) -> sim::Task {
+    co_await p.read(100);
+    co_await p.write_global(104, 1);
+    co_await p.flush_buffer();
+  };
+  m.spawn(prog(m.processor(0)));
+  run_all(m);
+  std::ostringstream os;
+  m.stats().write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("kind,name,field,value"), std::string::npos);
+  EXPECT_NE(csv.find("counter,net.messages,value,"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat.read_miss,mean,"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,net.latency,p99,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bcsim

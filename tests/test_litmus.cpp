@@ -1,0 +1,199 @@
+// Memory-model litmus tests: the buffered-consistency model must be
+// demonstrably WEAK where the paper allows (no flush: a reader can see the
+// flag before the data) and demonstrably ORDERED where the paper requires
+// (CP-Synch discipline: flush before the flag/lock release makes the data
+// visible first). These tests pin the semantics, not just the plumbing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sync/barrier.hpp"
+#include "test_util.hpp"
+
+namespace bcsim {
+namespace {
+
+using core::Machine;
+using core::Processor;
+using test::paper_config;
+using test::run_all;
+
+// Data and flag live in different blocks with different home modules, so
+// their write-global completions are genuinely unordered unless flushed.
+constexpr Addr kData = 0;   // home module 0
+constexpr Addr kFlag = 4;   // block 1 -> home module 1 (n >= 2)
+
+struct Observation {
+  bool saw_flag = false;
+  Word data = 0;
+};
+
+// Message-passing litmus on the subscription fabric: the reader (and a few
+// bystanders) READ-UPDATE both blocks; the writer stores data, then flag.
+// The data block's subscriber chain is longer than the flag's (bystanders
+// subscribe to data only, after the reader, so the reader sits at the TAIL
+// of data's chain but at the head of flag's), so without a flush the
+// flag's update reaches the reader while the data update is still hopping
+// down the chain — the weak outcome the model permits. With the CP-Synch
+// flush, the data write is globally performed (chain fully delivered)
+// before the flag write is even issued, so the weak outcome is impossible.
+Observation run_mp(bool writer_flushes) {
+  auto cfg = paper_config(8);
+  cfg.network = core::NetworkKind::kOmega;
+  Machine m(cfg);
+  Observation obs;
+  int subscribed = 0;
+  struct Subscriber {
+    int& subscribed;
+    bool also_flag;
+    sim::Task operator()(Processor& p) const {
+      co_await p.read_update(kData);
+      if (also_flag) co_await p.read_update(kFlag);
+      ++subscribed;
+    }
+  };
+  struct Writer {
+    bool flush;
+    sim::Task operator()(Processor& p) const {
+      co_await p.compute(200);  // let everyone subscribe first
+      co_await p.write_global(kData, 42);
+      if (flush) co_await p.flush_buffer();  // CP-Synch discipline
+      co_await p.write_global(kFlag, 1);
+      co_await p.flush_buffer();
+    }
+  } writer{writer_flushes};
+  struct Reader {
+    Observation& obs;
+    sim::Task operator()(Processor& p) const {
+      co_await p.read_update(kFlag);
+      co_await p.read_update(kData);
+      for (;;) {
+        const Word f = co_await p.read_update(kFlag);
+        if (f == 1) break;
+        co_await p.wait_word_change(kFlag, f);
+      }
+      obs.saw_flag = true;
+      // Local copy of the subscribed data block: this is what the machine
+      // actually shows the reader the instant it learns of the flag.
+      obs.data = co_await p.read_update(kData);
+    }
+  } reader{obs};
+  Subscriber bystander{subscribed, false};
+  m.spawn(reader(m.processor(1)));
+  m.run();  // reader subscribes first -> tail of data's delivery chain
+  for (NodeId i = 2; i < 8; ++i) m.spawn(bystander(m.processor(i)));
+  m.run();
+  EXPECT_EQ(subscribed, 6);
+  m.spawn(writer(m.processor(0)));
+  run_all(m);
+  return obs;
+}
+
+TEST(Litmus, MessagePassingWithFlushIsAlwaysOrdered) {
+  // With the CP-Synch flush, no interleaving may show flag-without-data.
+  const auto obs = run_mp(/*writer_flushes=*/true);
+  ASSERT_TRUE(obs.saw_flag);
+  EXPECT_EQ(obs.data, 42u) << "stale data observed past a flushed flag";
+}
+
+TEST(Litmus, MessagePassingWithoutFlushExhibitsWeakBehavior) {
+  // Without the flush the model is allowed to reorder the completions —
+  // and a correct implementation of a weak model should actually exhibit
+  // the weak outcome: the flag's one-hop update beats the data's
+  // seven-hop chain to the reader.
+  const auto obs = run_mp(/*writer_flushes=*/false);
+  ASSERT_TRUE(obs.saw_flag);
+  EXPECT_NE(obs.data, 42u)
+      << "buffered consistency never reordered unflushed writes - the model "
+         "would be indistinguishable from SC and Figures 6-7 meaningless";
+}
+
+TEST(Litmus, LockHandoffOrdersCriticalSectionWrites) {
+  // CBL + CP-Synch release: everything written (globally) inside the
+  // critical section is visible to the next lock holder.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto cfg = paper_config(4);
+    cfg.seed = seed;
+    Machine m(cfg);
+    const Addr lock = 16;
+    const Addr remote = 64;  // not in the lock block: needs the flush
+    Word seen = 0;
+    struct First {
+      Addr lock, remote;
+      sim::Task operator()(Processor& p) const {
+        co_await p.write_lock(lock);
+        co_await p.write_global(remote, 7);
+        co_await p.flush_buffer();
+        co_await p.unlock(lock);
+      }
+    } first{lock, remote};
+    struct Second {
+      Addr lock, remote;
+      Word& seen;
+      sim::Task operator()(Processor& p) const {
+        co_await p.compute(5);
+        co_await p.write_lock(lock);
+        seen = co_await p.read_global(remote);
+        co_await p.unlock(lock);
+      }
+    } second{lock, remote, seen};
+    m.spawn(first(m.processor(0)));
+    m.spawn(second(m.processor(1)));
+    run_all(m);
+    EXPECT_EQ(seen, 7u) << "seed " << seed;
+  }
+}
+
+TEST(Litmus, BarrierSeparatesPhasesOnBothMachines) {
+  // All writes of phase k are visible to all readers in phase k+1,
+  // through the CBL barrier (whose wait() flushes).
+  auto cfg = paper_config(8);
+  Machine m(cfg);
+  auto alloc = m.make_allocator(100);
+  sync::CblBarrier bar(alloc, 8);
+  std::vector<Word> sums(8, 0);
+  struct Prog {
+    sync::CblBarrier& bar;
+    std::vector<Word>& sums;
+    Addr base;
+    sim::Task operator()(Processor& p) const {
+      co_await p.write_global(base + p.id(), p.id() + 1);
+      co_await bar.wait(p);
+      Word s = 0;
+      for (NodeId j = 0; j < 8; ++j) s += co_await p.read_global(base + j);
+      sums[p.id()] = s;
+    }
+  } prog{bar, sums, 0};
+  for (NodeId i = 0; i < 8; ++i) m.spawn(prog(m.processor(i)));
+  run_all(m);
+  for (NodeId i = 0; i < 8; ++i) EXPECT_EQ(sums[i], 36u) << "node " << i;
+}
+
+TEST(Litmus, NpSynchLockAcquireDoesNotWaitForPriorWrites) {
+  // The paper's headline relaxation: a lock (NP-Synch) may be acquired
+  // while earlier global writes are still in flight.
+  auto cfg = paper_config(4);
+  Machine m(cfg);
+  const Addr lock = 16;
+  bool pending_at_acquire = false;
+  struct Prog {
+    Addr lock;
+    bool& pending;
+    sim::Task operator()(Processor& p) const {
+      for (int i = 0; i < 6; ++i) {
+        co_await p.write_global(static_cast<Addr>(64 + i * 4), i);
+      }
+      co_await p.write_lock(lock);  // NP-Synch: no flush required
+      pending = p.cache().write_buffer().pending() > 0;
+      co_await p.flush_buffer();
+      co_await p.unlock(lock);
+    }
+  } prog{lock, pending_at_acquire};
+  m.spawn(prog(m.processor(0)));
+  run_all(m);
+  EXPECT_TRUE(pending_at_acquire)
+      << "acquire should complete while global writes are still pending";
+}
+
+}  // namespace
+}  // namespace bcsim

@@ -1,0 +1,88 @@
+// Address map and memory module tests, including per-word dirty-bit merges
+// (the paper's false-sharing fix at the memory side).
+#include <gtest/gtest.h>
+
+#include "mem/address.hpp"
+#include "mem/memory_module.hpp"
+
+namespace bcsim::mem {
+namespace {
+
+TEST(AddressMap, BlockAndWordDecomposition) {
+  AddressMap m(4, 8);
+  EXPECT_EQ(m.block_of(0), 0u);
+  EXPECT_EQ(m.block_of(3), 0u);
+  EXPECT_EQ(m.block_of(4), 1u);
+  EXPECT_EQ(m.word_of(6), 2u);
+  EXPECT_EQ(m.base_of(3), 12u);
+}
+
+TEST(AddressMap, HomeInterleavesAcrossNodes) {
+  AddressMap m(4, 4);
+  EXPECT_EQ(m.home_of(0), 0u);
+  EXPECT_EQ(m.home_of(1), 1u);
+  EXPECT_EQ(m.home_of(5), 1u);
+  EXPECT_EQ(m.home_of(7), 3u);
+}
+
+TEST(AddressMap, SingleWordBlocks) {
+  AddressMap m(1, 2);
+  EXPECT_EQ(m.block_of(9), 9u);
+  EXPECT_EQ(m.word_of(9), 0u);
+}
+
+TEST(MemoryModule, UntouchedMemoryReadsZero) {
+  MemoryModule mm(4, 1, 4);
+  EXPECT_EQ(mm.read_word(100, 2), 0u);
+  const auto block = mm.read_block(100);
+  EXPECT_EQ(block.count, 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(block.words[static_cast<std::size_t>(i)], 0u);
+  EXPECT_EQ(mm.resident_blocks(), 0u) << "reads must not materialize blocks";
+}
+
+TEST(MemoryModule, WordWritesPersist) {
+  MemoryModule mm(4, 1, 4);
+  mm.write_word(7, 3, 0xABCD);
+  EXPECT_EQ(mm.read_word(7, 3), 0xABCDu);
+  EXPECT_EQ(mm.read_word(7, 0), 0u);
+  EXPECT_EQ(mm.resident_blocks(), 1u);
+}
+
+TEST(MemoryModule, MaskedWritebackMergesOnlyDirtyWords) {
+  // Two nodes wrote different words of the same block; both write back with
+  // per-word dirty bits. Neither update may be lost (paper section 3,
+  // issue 6).
+  MemoryModule mm(4, 1, 4);
+  net::BlockData from_a;
+  from_a.count = 4;
+  from_a.words = {1, 99, 99, 99};
+  mm.write_block_masked(5, from_a, 0b0001);  // only word 0 is dirty
+  net::BlockData from_b;
+  from_b.count = 4;
+  from_b.words = {88, 88, 88, 2};
+  mm.write_block_masked(5, from_b, 0b1000);  // only word 3 is dirty
+  EXPECT_EQ(mm.read_word(5, 0), 1u);
+  EXPECT_EQ(mm.read_word(5, 1), 0u);
+  EXPECT_EQ(mm.read_word(5, 2), 0u);
+  EXPECT_EQ(mm.read_word(5, 3), 2u);
+}
+
+TEST(MemoryModule, EmptyMaskWritesNothing) {
+  MemoryModule mm(4, 1, 4);
+  net::BlockData d;
+  d.count = 4;
+  d.words = {7, 7, 7, 7};
+  mm.write_block_masked(3, d, 0);
+  EXPECT_EQ(mm.resident_blocks(), 0u);
+}
+
+TEST(MemoryModule, OccupySerializesRequests) {
+  MemoryModule mm(4, 1, 4);
+  EXPECT_EQ(mm.occupy(10, 4), 14u);
+  EXPECT_EQ(mm.occupy(10, 4), 18u) << "second request queues behind the first";
+  EXPECT_EQ(mm.occupy(100, 2), 102u) << "idle module starts immediately";
+  EXPECT_EQ(mm.busy_until(), 102u);
+}
+
+}  // namespace
+}  // namespace bcsim::mem

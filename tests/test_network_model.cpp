@@ -1,0 +1,103 @@
+// Validation of the analytical Omega-network model against the simulated
+// network: zero-load latency exact, queueing growth within modeling
+// tolerance at moderate load, hot-spot saturation ordering correct.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/network_model.hpp"
+#include "net/network.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace bcsim {
+namespace {
+
+/// Drives the simulated Omega network with Bernoulli(rho) per-node uniform
+/// traffic for `cycles` cycles and returns the mean delivered latency.
+double simulate_uniform(std::uint32_t n, double rho, Tick cycles, std::uint64_t seed) {
+  sim::Simulator simulator;
+  sim::StatsRegistry stats;
+  net::OmegaNetwork network(simulator, stats, n, 1);
+  for (NodeId d = 0; d < n; ++d) {
+    network.attach(d, net::Unit::kMemory, [](const net::Message&) {});
+  }
+  sim::Rng rng(seed);
+  for (Tick t = 0; t < cycles; ++t) {
+    simulator.run_until(t);
+    for (NodeId s = 0; s < n; ++s) {
+      if (!rng.chance(rho)) continue;
+      net::Message m;
+      m.src = s;
+      m.dst = static_cast<NodeId>(rng.next_below(n));
+      if (m.dst == s) continue;  // local traffic bypasses the network
+      m.unit = net::Unit::kMemory;
+      network.send(std::move(m));
+    }
+  }
+  simulator.run();
+  const auto* h = stats.find_histogram("net.latency");
+  return h == nullptr || h->count() == 0 ? 0.0 : h->mean();
+}
+
+TEST(OmegaModel, ZeroLoadLatencyIsExact) {
+  analytic::OmegaModel m;
+  m.n_nodes = 64;
+  m.switch_delay = 1.0;
+  m.service = 1.0;
+  EXPECT_EQ(m.stages(), 6u);
+  EXPECT_DOUBLE_EQ(m.base_latency(), 6.0);
+  // One lone message in the simulator must match exactly.
+  const double sim_lat = simulate_uniform(64, 0.0005, 2000, 1);
+  EXPECT_NEAR(sim_lat, m.base_latency(), 0.5);
+}
+
+TEST(OmegaModel, StagesRoundUpForNonPowersOfTwo) {
+  analytic::OmegaModel m;
+  m.n_nodes = 33;
+  EXPECT_EQ(m.stages(), 6u);
+  m.n_nodes = 2;
+  EXPECT_EQ(m.stages(), 1u);
+}
+
+TEST(OmegaModel, QueueingGrowsWithLoadLikeTheSimulator) {
+  analytic::OmegaModel m;
+  m.n_nodes = 64;
+  const double lat_lo = simulate_uniform(64, 0.05, 4000, 7);
+  const double lat_hi = simulate_uniform(64, 0.40, 4000, 7);
+  EXPECT_GT(lat_hi, lat_lo) << "simulated latency must grow with load";
+  // Model tracks the simulated latency within modeling tolerance (the
+  // M/D/1 stage independence assumption is approximate).
+  EXPECT_NEAR(m.latency(0.05), lat_lo, 0.25 * lat_lo);
+  EXPECT_NEAR(m.latency(0.40), lat_hi, 0.35 * lat_hi);
+}
+
+TEST(OmegaModel, SaturationIsInfinite) {
+  analytic::OmegaModel m;
+  EXPECT_TRUE(std::isinf(m.latency(1.0)));
+  EXPECT_TRUE(std::isinf(m.stage_wait(1.0)));
+}
+
+TEST(OmegaModel, HotspotSaturationMatchesPfisterNorton) {
+  analytic::OmegaModel m;
+  m.n_nodes = 64;
+  // No hot spot: saturates at rho = 1. Full hot spot: at 1/N.
+  EXPECT_DOUBLE_EQ(m.hotspot_saturation(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.hotspot_saturation(1.0), 1.0 / 64);
+  // 5% hot traffic on 64 nodes saturates at ~24% offered load — the
+  // headline number from the hot-spot literature.
+  EXPECT_NEAR(m.hotspot_saturation(0.05), 0.24, 0.01);
+}
+
+TEST(OmegaModel, HotspotLatencyDominatesUniform) {
+  analytic::OmegaModel m;
+  m.n_nodes = 64;
+  const double rho = 0.1;
+  EXPECT_GT(m.hotspot_latency(rho, 0.05), m.latency(rho));
+  EXPECT_TRUE(std::isinf(m.hotspot_latency(0.5, 0.05)))
+      << "beyond the saturation bound the model must report saturation";
+}
+
+}  // namespace
+}  // namespace bcsim

@@ -1,0 +1,252 @@
+// Reader-initiated coherence tests: READ-UPDATE subscriptions, chained
+// update propagation, RESET-UPDATE, READ-GLOBAL/WRITE-GLOBAL, and the
+// per-word dirty merge semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace bcsim {
+namespace {
+
+using core::Machine;
+using core::Processor;
+using test::paper_config;
+using test::run_all;
+
+sim::Task wg(Processor& p, Addr a, Word v) {
+  co_await p.write_global(a, v);
+  co_await p.flush_buffer();
+}
+sim::Task ru_read(Processor& p, Addr a, Word& out) { out = co_await p.read_update(a); }
+sim::Task g_read(Processor& p, Addr a, Word& out) { out = co_await p.read_global(a); }
+
+TEST(ReadUpdate, SubscriberReceivesWriterUpdates) {
+  Machine m(paper_config(4));
+  const Addr a = 16;
+  m.poke_memory(a, 5);
+  Word first = 0;
+  m.spawn(ru_read(m.processor(1), a, first));
+  m.run();
+  EXPECT_EQ(first, 5u);
+  m.spawn(wg(m.processor(0), a, 6));
+  run_all(m);
+  // The subscriber's next read is a local hit with the updated value.
+  Word second = 0;
+  std::vector<Tick> lat;
+  auto hit_read = [&](Processor& p) -> sim::Task {
+    const Tick t0 = p.simulator().now();
+    second = co_await p.read_update(a);
+    lat.push_back(p.simulator().now() - t0);
+  };
+  m.spawn(hit_read(m.processor(1)));
+  run_all(m);
+  EXPECT_EQ(second, 6u);
+  ASSERT_EQ(lat.size(), 1u);
+  EXPECT_EQ(lat[0], 1u) << "subscribed line must hit locally";
+}
+
+TEST(ReadUpdate, AllSubscribersUpdatedViaChain) {
+  Machine m(paper_config(8));
+  const Addr a = 24;
+  std::vector<Word> vals(8, 0);
+  for (NodeId i = 1; i < 8; ++i) m.spawn(ru_read(m.processor(i), a, vals[i]));
+  m.run();
+  m.spawn(wg(m.processor(0), a, 99));
+  run_all(m);
+  // After the flush (write globally performed), every subscriber's cached
+  // copy must be fresh.
+  std::vector<Word> after(8, 0);
+  std::deque<sim::Task> readers;
+  auto reader = [&](Processor& p, Word& out) -> sim::Task { out = co_await p.read_update(a); };
+  for (NodeId i = 1; i < 8; ++i) m.spawn(reader(m.processor(i), after[i]));
+  run_all(m);
+  for (NodeId i = 1; i < 8; ++i) EXPECT_EQ(after[i], 99u) << "subscriber " << i;
+  EXPECT_GE(m.stats().counter_value("cache.ru_updates_received"), 7u);
+  EXPECT_GE(m.stats().counter_value("cache.chain_forwards"), 6u)
+      << "updates must propagate down the list, not broadcast from memory";
+}
+
+TEST(ReadUpdate, WriteGlobalAckWaitsForPropagation) {
+  // Under SC, write_global completes only when globally performed; with 6
+  // subscribers the chain adds at least 6 network hops versus none.
+  auto cfg = paper_config(8);
+  cfg.consistency = core::Consistency::kSequential;
+  Machine m(cfg);
+  const Addr sub = 32, unsub = 40;
+  std::vector<Word> sink(8);
+  for (NodeId i = 1; i < 8; ++i) m.spawn(ru_read(m.processor(i), sub, sink[i]));
+  m.run();
+  Tick with_subs = 0, without_subs = 0;
+  auto prog = [&](Processor& p) -> sim::Task {
+    Tick t0 = p.simulator().now();
+    co_await p.write_global(sub, 1);
+    with_subs = p.simulator().now() - t0;
+    t0 = p.simulator().now();
+    co_await p.write_global(unsub, 1);
+    without_subs = p.simulator().now() - t0;
+  };
+  m.spawn(prog(m.processor(0)));
+  run_all(m);
+  EXPECT_GT(with_subs, without_subs + 5)
+      << "globally-performed ack must include the subscriber chain";
+}
+
+TEST(ReadUpdate, ResetUpdateStopsDeliveries) {
+  Machine m(paper_config(4));
+  const Addr a = 48;
+  Word v = 0;
+  m.spawn(ru_read(m.processor(1), a, v));
+  m.run();
+  auto reset = [&](Processor& p) -> sim::Task { co_await p.reset_update(a); };
+  m.spawn(reset(m.processor(1)));
+  m.run();
+  m.spawn(wg(m.processor(0), a, 7));
+  run_all(m);
+  // Node 1's line must NOT have been updated (no subscription): a plain
+  // local read still sees the old cached 0.
+  Word stale = 99;
+  auto local_read = [&](Processor& p) -> sim::Task { stale = co_await p.read(a); };
+  m.spawn(local_read(m.processor(1)));
+  run_all(m);
+  EXPECT_EQ(stale, 0u) << "after RESET-UPDATE no update may be delivered";
+  // But READ-GLOBAL bypasses the stale copy.
+  Word fresh = 0;
+  m.spawn(g_read(m.processor(1), a, fresh));
+  run_all(m);
+  EXPECT_EQ(fresh, 7u);
+}
+
+TEST(ReadUpdate, ResubscribeAfterResetWorks) {
+  Machine m(paper_config(4));
+  const Addr a = 56;
+  Word v = 0;
+  m.spawn(ru_read(m.processor(1), a, v));
+  m.run();
+  auto reset = [&](Processor& p) -> sim::Task { co_await p.reset_update(a); };
+  m.spawn(reset(m.processor(1)));
+  m.run();
+  m.spawn(ru_read(m.processor(1), a, v));
+  m.run();
+  m.spawn(wg(m.processor(0), a, 3));
+  run_all(m);
+  Word seen = 0;
+  auto local_read = [&](Processor& p) -> sim::Task { seen = co_await p.read(a); };
+  m.spawn(local_read(m.processor(1)));
+  run_all(m);
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(ReadUpdate, UpdatePreservesLocallyDirtyWords) {
+  // A subscriber with a locally dirtied word in the block must not have it
+  // clobbered by an incoming update for another word (per-word merge).
+  Machine m(paper_config(4));
+  const Addr base = 64;  // block boundary (block_words = 4)
+  Word v = 0;
+  auto sub_and_dirty = [&](Processor& p) -> sim::Task {
+    v = co_await p.read_update(base);
+    co_await p.write(base + 1, 42);  // local write, dirty word 1
+  };
+  m.spawn(sub_and_dirty(m.processor(1)));
+  m.run();
+  m.spawn(wg(m.processor(0), base + 2, 7));  // updates word 2
+  run_all(m);
+  Word w1 = 0, w2 = 0;
+  auto check = [&](Processor& p) -> sim::Task {
+    w1 = co_await p.read(base + 1);
+    w2 = co_await p.read(base + 2);
+  };
+  m.spawn(check(m.processor(1)));
+  run_all(m);
+  EXPECT_EQ(w1, 42u) << "locally dirty word clobbered by update";
+  EXPECT_EQ(w2, 7u) << "clean word must take the update";
+}
+
+TEST(ReadUpdate, EvictionCancelsSubscription) {
+  auto cfg = paper_config(2);
+  cfg.cache_blocks = 4;
+  cfg.cache_assoc = 1;
+  Machine m(cfg);
+  const Addr a = 0;  // block 0; blocks 4,8,... collide in the 4-set cache
+  Word v = 0;
+  auto prog = [&](Processor& p) -> sim::Task {
+    v = co_await p.read_update(a);
+    // Touch conflicting blocks to force eviction of the subscribed line.
+    for (Addr blk = 1; blk <= 8; ++blk) co_await p.read(blk * 4 * 4);
+  };
+  m.spawn(prog(m.processor(1)));
+  run_all(m);
+  EXPECT_GE(m.stats().counter_value("cache.ru_evict_unsubscribe"), 1u);
+  // The writer's update must not be delivered to (or acked by) node 1's
+  // evicted line; the system must still quiesce.
+  m.spawn(wg(m.processor(0), a, 5));
+  run_all(m);
+  EXPECT_EQ(m.peek_memory(a), 5u);
+}
+
+TEST(ReadUpdate, WriteGlobalUpdatesWritersOwnCachedCopy) {
+  Machine m(paper_config(2));
+  const Addr a = 72;
+  Word before = 0, after = 0;
+  auto prog = [&](Processor& p) -> sim::Task {
+    before = co_await p.read(a);  // caches the block locally
+    co_await p.write_global(a, 9);
+    co_await p.flush_buffer();
+    after = co_await p.read(a);  // local copy must reflect the write
+  };
+  m.spawn(prog(m.processor(0)));
+  run_all(m);
+  EXPECT_EQ(before, 0u);
+  EXPECT_EQ(after, 9u);
+}
+
+TEST(ReadUpdate, ReadGlobalBypassesCache) {
+  Machine m(paper_config(2));
+  const Addr a = 80;
+  m.poke_memory(a, 1);
+  Word cached = 0, direct = 0;
+  auto prog = [&](Processor& p) -> sim::Task {
+    cached = co_await p.read(a);  // caches 1
+    co_await p.compute(1);
+  };
+  m.spawn(prog(m.processor(0)));
+  run_all(m);
+  m.poke_memory(a, 2);
+  auto prog2 = [&](Processor& p) -> sim::Task {
+    cached = co_await p.read(a);        // stale local hit
+    direct = co_await p.read_global(a); // fresh from memory
+  };
+  m.spawn(prog2(m.processor(0)));
+  run_all(m);
+  EXPECT_EQ(cached, 1u);
+  EXPECT_EQ(direct, 2u);
+}
+
+TEST(ReadUpdate, ManyWritersManySubscribersConverge) {
+  Machine m(paper_config(8));
+  const Addr a = 96;
+  std::vector<Word> sink(8);
+  for (NodeId i = 4; i < 8; ++i) m.spawn(ru_read(m.processor(i), a, sink[i]));
+  m.run();
+  auto writer = [&](Processor& p, Word v) -> sim::Task {
+    co_await p.write_global(a, v);
+    co_await p.flush_buffer();
+  };
+  for (NodeId i = 0; i < 4; ++i) m.spawn(writer(m.processor(i), 100 + i));
+  run_all(m);
+  const Word mem = m.peek_memory(a);
+  EXPECT_GE(mem, 100u);
+  EXPECT_LE(mem, 103u);
+  // Every subscriber must converge on the final memory value after all
+  // writes are globally performed. The last chain delivery per write is
+  // ordered per subscriber through the directory serialization.
+  std::vector<Word> after(8);
+  auto check = [&](Processor& p, Word& out) -> sim::Task { out = co_await p.read(a); };
+  for (NodeId i = 4; i < 8; ++i) m.spawn(check(m.processor(i), after[i]));
+  run_all(m);
+  for (NodeId i = 4; i < 8; ++i) EXPECT_EQ(after[i], mem) << "subscriber " << i;
+}
+
+}  // namespace
+}  // namespace bcsim

@@ -1,0 +1,157 @@
+// Red-black stencil workload: bit-exact against the host reference on
+// every machine variant and network — the nearest-neighbor counterpart of
+// the all-to-all solver test.
+#include <gtest/gtest.h>
+
+#include "workload/grid_stencil.hpp"
+#include "workload/stencil.hpp"
+#include "test_util.hpp"
+
+namespace bcsim {
+namespace {
+
+using core::Machine;
+using core::MachineConfig;
+using test::paper_config;
+using test::run_all;
+using test::small_config;
+
+struct StencilParam {
+  const char* name;
+  bool paper;
+  core::NetworkKind net;
+};
+
+class StencilCorrectness : public ::testing::TestWithParam<StencilParam> {};
+
+TEST_P(StencilCorrectness, MatchesHostReferenceBitExactly) {
+  auto cfg = GetParam().paper ? paper_config(8) : small_config(8);
+  cfg.network = GetParam().net;
+  Machine m(cfg);
+  workload::StencilWorkload w(m, {});
+  w.spawn_all(m);
+  run_all(m);
+  const auto sim_x = w.result(m);
+  const auto ref_x = w.reference();
+  ASSERT_EQ(sim_x.size(), ref_x.size());
+  for (std::size_t i = 0; i < sim_x.size(); ++i) {
+    EXPECT_EQ(sim_x[i], ref_x[i]) << "cell " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, StencilCorrectness,
+    ::testing::Values(StencilParam{"WbiOmega", false, core::NetworkKind::kOmega},
+                      StencilParam{"WbiMesh", false, core::NetworkKind::kMesh},
+                      StencilParam{"RuOmega", true, core::NetworkKind::kOmega},
+                      StencilParam{"RuMesh", true, core::NetworkKind::kMesh}),
+    [](const auto& pinfo) { return std::string(pinfo.param.name); });
+
+TEST(Stencil, HaloTrafficIsNeighborLocalOnRuMachine) {
+  // Only chunk-boundary cells are shared; the subscription lists should
+  // stay tiny (at most one remote reader per halo cell), so RU update
+  // propagations involve single-hop chains.
+  auto cfg = paper_config(8);
+  Machine m(cfg);
+  workload::StencilConfig sc;
+  sc.sweeps = 4;
+  workload::StencilWorkload w(m, sc);
+  w.spawn_all(m);
+  run_all(m);
+  const auto props = m.stats().counter_value("dir.ru_propagations");
+  const auto received = m.stats().counter_value("cache.ru_updates_received");
+  ASSERT_GT(props, 0u);
+  // Each propagation reaches ~1 subscriber: received/propagations ~ 1.
+  EXPECT_LE(received, 2 * props) << "subscription lists unexpectedly long";
+}
+
+TEST(Stencil, ScalesAcrossNodeCounts) {
+  for (std::uint32_t n : {2u, 4u, 16u}) {
+    auto cfg = paper_config(n);
+    Machine m(cfg);
+    workload::StencilWorkload w(m, {});
+    w.spawn_all(m);
+    run_all(m);
+    EXPECT_EQ(w.result(m), w.reference()) << n << " nodes";
+  }
+}
+
+class GridStencilCorrectness : public ::testing::TestWithParam<StencilParam> {};
+
+TEST_P(GridStencilCorrectness, MatchesHostReferenceBitExactly) {
+  auto cfg = GetParam().paper ? paper_config(8) : small_config(8);
+  cfg.network = GetParam().net;
+  cfg.cache_blocks = 128;
+  Machine m(cfg);
+  workload::GridStencilWorkload w(m, {});
+  w.spawn_all(m);
+  run_all(m);
+  const auto sim_g = w.result(m);
+  const auto ref_g = w.reference();
+  ASSERT_EQ(sim_g.size(), ref_g.size());
+  for (std::size_t i = 0; i < sim_g.size(); ++i) {
+    EXPECT_EQ(sim_g[i], ref_g[i]) << "cell " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, GridStencilCorrectness,
+    ::testing::Values(StencilParam{"WbiOmega", false, core::NetworkKind::kOmega},
+                      StencilParam{"WbiMesh", false, core::NetworkKind::kMesh},
+                      StencilParam{"RuOmega", true, core::NetworkKind::kOmega},
+                      StencilParam{"RuMesh", true, core::NetworkKind::kMesh}),
+    [](const auto& pinfo) { return std::string(pinfo.param.name); });
+
+TEST(GridStencil, OddProcessorCountsAndNonDividingGrids) {
+  for (std::uint32_t n : {3u, 5u, 6u, 7u, 9u}) {
+    auto cfg = paper_config(n);
+    Machine m(cfg);
+    workload::GridStencilConfig gc;
+    gc.grid = 13;  // does not divide evenly into tiles
+    gc.sweeps = 3;
+    workload::GridStencilWorkload w(m, gc);
+    w.spawn_all(m);
+    run_all(m);
+    EXPECT_EQ(w.result(m), w.reference()) << n << " nodes";
+  }
+}
+
+TEST(GridStencil, EvictionPressureStillExact) {
+  // A cache too small for the tile forces dirty evictions mid-sweep; the
+  // uniprocessor-style PutM write-back path (read-update machine) must
+  // preserve exactness.
+  auto cfg = paper_config(4);
+  cfg.cache_blocks = 8;
+  cfg.cache_assoc = 2;
+  Machine m(cfg);
+  workload::GridStencilConfig gc;
+  gc.grid = 16;
+  gc.sweeps = 2;
+  workload::GridStencilWorkload w(m, gc);
+  w.spawn_all(m);
+  run_all(m);
+  EXPECT_GT(m.stats().counter_value("cache.writebacks"), 0u)
+      << "test needs eviction pressure to mean anything";
+  EXPECT_EQ(w.result(m), w.reference());
+}
+
+TEST(Stencil, LargerChunksReduceSharedFraction) {
+  auto traffic = [](std::uint32_t cells) {
+    auto cfg = paper_config(8);
+    core::Machine m(cfg);
+    workload::StencilConfig sc;
+    sc.cells_per_proc = cells;
+    sc.sweeps = 4;
+    workload::StencilWorkload w(m, sc);
+    w.spawn_all(m);
+    m.run(100'000'000ULL);
+    // Normalize by total cell updates.
+    return static_cast<double>(m.stats().counter_value("net.messages")) /
+           (static_cast<double>(cells) * 8);
+  };
+  EXPECT_LT(traffic(32), traffic(4))
+      << "surface-to-volume: bigger chunks amortize halo traffic";
+}
+
+}  // namespace
+}  // namespace bcsim

@@ -1,0 +1,47 @@
+// Parallel sweep runner tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "sim/sweep.hpp"
+
+namespace bcsim::sim {
+namespace {
+
+TEST(Sweep, ResultsInIndexOrder) {
+  const auto out = parallel_map<int>(64, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(Sweep, EmptyInputYieldsEmptyOutput) {
+  const auto out = parallel_map<int>(0, [](std::size_t) { return 1; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Sweep, RunsEveryIndexExactlyOnce) {
+  std::atomic<int> calls{0};
+  parallel_map<int>(100, [&](std::size_t) {
+    calls.fetch_add(1);
+    return 0;
+  });
+  EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(Sweep, PropagatesExceptions) {
+  EXPECT_THROW(parallel_map<int>(16,
+                                 [](std::size_t i) -> int {
+                                   if (i == 7) throw std::runtime_error("boom");
+                                   return 0;
+                                 }),
+               std::runtime_error);
+}
+
+TEST(Sweep, ThreadCountIsSane) {
+  EXPECT_GE(sweep_threads(), 1u);
+  EXPECT_LE(sweep_threads(), 64u);
+}
+
+}  // namespace
+}  // namespace bcsim::sim

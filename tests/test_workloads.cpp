@@ -1,0 +1,171 @@
+// Workload model tests: the work-queue and sync models run to completion on
+// every machine variant, execute exactly the configured work, and are
+// deterministic for a given seed.
+#include <gtest/gtest.h>
+
+#include "workload/fft_phases.hpp"
+#include "workload/sync_model.hpp"
+#include "workload/work_queue_model.hpp"
+#include "test_util.hpp"
+
+namespace bcsim {
+namespace {
+
+using core::Machine;
+using core::MachineConfig;
+using test::paper_config;
+using test::run_all;
+using test::small_config;
+
+MachineConfig wbi_machine(std::uint32_t n, core::LockImpl lock) {
+  auto cfg = small_config(n);
+  cfg.network = core::NetworkKind::kOmega;
+  cfg.lock_impl = lock;
+  cfg.cache_blocks = 256;
+  return cfg;
+}
+
+struct WqParam {
+  const char* name;
+  bool paper;
+  core::LockImpl lock;
+};
+
+class WorkQueueAllMachines : public ::testing::TestWithParam<WqParam> {};
+
+TEST_P(WorkQueueAllMachines, ExecutesExactlyTheBudget) {
+  auto cfg = GetParam().paper ? paper_config(8) : wbi_machine(8, GetParam().lock);
+  cfg.network = core::NetworkKind::kOmega;
+  Machine m(cfg);
+  workload::WorkQueueConfig wq;
+  wq.total_tasks = 64;
+  wq.grain = 20;
+  workload::WorkQueueWorkload w(m, wq);
+  w.spawn_all(m);
+  run_all(m);
+  EXPECT_EQ(w.tasks_executed(m), 64u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, WorkQueueAllMachines,
+    ::testing::Values(WqParam{"PaperCbl", true, core::LockImpl::kCbl},
+                      WqParam{"WbiTts", false, core::LockImpl::kTts},
+                      WqParam{"WbiBackoff", false, core::LockImpl::kTtsBackoff},
+                      WqParam{"WbiMcs", false, core::LockImpl::kMcs},
+                      WqParam{"WbiTicket", false, core::LockImpl::kTicket}),
+    [](const auto& pinfo) { return std::string(pinfo.param.name); });
+
+TEST(WorkQueue, DeterministicForSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    auto cfg = paper_config(4);
+    cfg.network = core::NetworkKind::kOmega;
+    cfg.seed = seed;
+    Machine m(cfg);
+    workload::WorkQueueConfig wq;
+    wq.total_tasks = 32;
+    wq.grain = 10;
+    workload::WorkQueueWorkload w(m, wq);
+    w.spawn_all(m);
+    return m.run(20'000'000);
+  };
+  EXPECT_EQ(run_once(7), run_once(7)) << "same seed must reproduce exactly";
+  EXPECT_NE(run_once(7), run_once(8)) << "different seed should perturb timing";
+}
+
+TEST(WorkQueue, ScalesAcrossNodeCounts) {
+  // More processors must not break correctness (completion may vary).
+  for (std::uint32_t n : {2u, 4u, 16u}) {
+    auto cfg = paper_config(n);
+    cfg.network = core::NetworkKind::kOmega;
+    Machine m(cfg);
+    workload::WorkQueueConfig wq;
+    wq.total_tasks = 48;
+    wq.grain = 8;
+    workload::WorkQueueWorkload w(m, wq);
+    w.spawn_all(m);
+    run_all(m);
+    EXPECT_EQ(w.tasks_executed(m), 48u) << n << " nodes";
+  }
+}
+
+TEST(SyncModel, RunsToCompletionOnBothMachines) {
+  for (bool paper : {false, true}) {
+    auto cfg = paper ? paper_config(8) : wbi_machine(8, core::LockImpl::kTts);
+    Machine m(cfg);
+    workload::SyncModelConfig sm;
+    sm.tasks_per_proc = 6;
+    sm.grain = 30;
+    workload::SyncModelWorkload w(m, sm);
+    w.spawn_all(m);
+    const Tick t = run_all(m);
+    EXPECT_GT(t, 0u);
+  }
+}
+
+TEST(SyncModel, SharedRatioDrivesTraffic) {
+  auto run_ratio = [](double ratio) {
+    auto cfg = small_config(4);
+    cfg.network = core::NetworkKind::kOmega;
+    Machine m(cfg);
+    workload::SyncModelConfig sm;
+    sm.tasks_per_proc = 4;
+    sm.grain = 200;
+    sm.shared_ratio = ratio;
+    workload::SyncModelWorkload w(m, sm);
+    w.spawn_all(m);
+    m.run(20'000'000);
+    return m.stats().counter_value("net.messages");
+  };
+  EXPECT_GT(run_ratio(0.5), 2 * run_ratio(0.01))
+      << "shared-access ratio must drive network traffic";
+}
+
+TEST(SyncModel, LockRatioZeroMeansOnlyBarriers) {
+  auto cfg = paper_config(4);
+  Machine m(cfg);
+  workload::SyncModelConfig sm;
+  sm.tasks_per_proc = 5;
+  sm.grain = 10;
+  sm.lock_ratio = 0.0;
+  workload::SyncModelWorkload w(m, sm);
+  w.spawn_all(m);
+  run_all(m);
+  EXPECT_EQ(m.stats().counter_value("dir.lock_req"), 0u);
+  EXPECT_GT(m.stats().counter_value("dir.barrier_arrivals"), 0u);
+}
+
+TEST(FftPhases, ComputesExactButterflyOnBothMachines) {
+  for (bool paper : {false, true}) {
+    auto cfg = paper ? paper_config(8) : wbi_machine(8, core::LockImpl::kTts);
+    Machine m(cfg);
+    workload::FftPhasesWorkload w(m, {});
+    w.spawn_all(m);
+    run_all(m);
+    EXPECT_EQ(w.actual(m), w.expected())
+        << (paper ? "read-update machine" : "WBI machine");
+  }
+}
+
+TEST(FftPhases, ResetUpdatePruneKeepsListsSmall) {
+  // With RESET-UPDATE after each phase, subscription lists stay bounded:
+  // the number of updates delivered should be far below the no-reset
+  // upper bound of (subscribers x writes).
+  auto cfg = paper_config(8);
+  Machine m(cfg);
+  workload::FftPhasesWorkload w(m, {});
+  w.spawn_all(m);
+  run_all(m);
+  EXPECT_GT(m.stats().counter_value("dir.reset_update"), 0u);
+}
+
+TEST(FftPhases, NonPowerOfTwoNodeCountsUseLargestSubset) {
+  auto cfg = paper_config(6);  // rounds down to 4 participants
+  Machine m(cfg);
+  workload::FftPhasesWorkload w(m, {});
+  w.spawn_all(m);
+  run_all(m);
+  EXPECT_EQ(w.actual(m), w.expected());
+}
+
+}  // namespace
+}  // namespace bcsim

@@ -1,0 +1,242 @@
+// bcsim — command-line experiment driver.
+//
+// One binary to configure the machine, pick a workload, run it, and dump
+// results (human-readable report and/or CSV for plotting):
+//
+//   bcsim --nodes 32 --machine paper --workload work-queue --tasks 256
+//         --grain 100 --report
+//   bcsim --nodes 16 --machine wbi --lock tts --workload solver --csv out.csv
+//
+// Flags (defaults in brackets):
+//   --nodes N            processors [16]
+//   --machine M          paper | wbi | cbl-on-wbi [paper]
+//   --consistency C      sc | bc (paper machine only) [bc]
+//   --lock L             cbl | tts | tts-backoff | ticket | mcs [per machine]
+//   --barrier B          cbl | central | tree [per machine]
+//   --network NET        omega | crossbar | mesh | ideal [omega]
+//   --block-words W      cache line size in words [4]
+//   --workload W         work-queue | sync-model | solver | stencil | grid | fft [work-queue]
+//   --tasks N            work-queue task budget [256]
+//   --grain G            references per task [100]
+//   --iters K            solver iterations / stencil sweeps [8]
+//   --seed S             RNG seed [1]
+//   --csv PATH           write all statistics as CSV
+//   --report             print the full statistics report
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/machine.hpp"
+#include "workload/fft_phases.hpp"
+#include "workload/grid_stencil.hpp"
+#include "workload/linear_solver.hpp"
+#include "workload/stencil.hpp"
+#include "workload/sync_model.hpp"
+#include "workload/work_queue_model.hpp"
+
+using namespace bcsim;
+
+namespace {
+
+struct Options {
+  std::uint32_t nodes = 16;
+  std::string machine = "paper";
+  std::string consistency = "bc";
+  std::string lock;
+  std::string barrier;
+  std::string network = "omega";
+  std::uint32_t block_words = 4;
+  std::string workload = "work-queue";
+  std::uint32_t tasks = 256;
+  std::uint32_t grain = 100;
+  std::uint32_t iters = 8;
+  std::uint64_t seed = 1;
+  std::string csv;
+  bool report = false;
+};
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::fprintf(stderr, "bcsim: %s\n(see the header of tools/bcsim_cli.cpp for flags)\n",
+               msg.c_str());
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  auto need = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--nodes") o.nodes = static_cast<std::uint32_t>(std::stoul(need(i)));
+    else if (a == "--machine") o.machine = need(i);
+    else if (a == "--consistency") o.consistency = need(i);
+    else if (a == "--lock") o.lock = need(i);
+    else if (a == "--barrier") o.barrier = need(i);
+    else if (a == "--network") o.network = need(i);
+    else if (a == "--block-words") o.block_words = static_cast<std::uint32_t>(std::stoul(need(i)));
+    else if (a == "--workload") o.workload = need(i);
+    else if (a == "--tasks") o.tasks = static_cast<std::uint32_t>(std::stoul(need(i)));
+    else if (a == "--grain") o.grain = static_cast<std::uint32_t>(std::stoul(need(i)));
+    else if (a == "--iters") o.iters = static_cast<std::uint32_t>(std::stoul(need(i)));
+    else if (a == "--seed") o.seed = std::stoull(need(i));
+    else if (a == "--csv") o.csv = need(i);
+    else if (a == "--report") o.report = true;
+    else usage_error("unknown flag '" + a + "'");
+  }
+  return o;
+}
+
+core::LockImpl parse_lock(const std::string& s) {
+  if (s == "cbl") return core::LockImpl::kCbl;
+  if (s == "tts") return core::LockImpl::kTts;
+  if (s == "tts-backoff") return core::LockImpl::kTtsBackoff;
+  if (s == "ticket") return core::LockImpl::kTicket;
+  if (s == "mcs") return core::LockImpl::kMcs;
+  usage_error("unknown lock '" + s + "'");
+}
+
+core::BarrierImpl parse_barrier(const std::string& s) {
+  if (s == "cbl") return core::BarrierImpl::kCbl;
+  if (s == "central") return core::BarrierImpl::kCentral;
+  if (s == "tree") return core::BarrierImpl::kTree;
+  usage_error("unknown barrier '" + s + "'");
+}
+
+core::NetworkKind parse_network(const std::string& s) {
+  if (s == "omega") return core::NetworkKind::kOmega;
+  if (s == "crossbar") return core::NetworkKind::kCrossbar;
+  if (s == "mesh") return core::NetworkKind::kMesh;
+  if (s == "ideal") return core::NetworkKind::kIdeal;
+  usage_error("unknown network '" + s + "'");
+}
+
+core::MachineConfig build_config(const Options& o) {
+  core::MachineConfig cfg;
+  cfg.n_nodes = o.nodes;
+  cfg.block_words = o.block_words;
+  cfg.network = parse_network(o.network);
+  cfg.seed = o.seed;
+  if (o.machine == "paper") {
+    cfg.data_protocol = core::DataProtocol::kReadUpdate;
+    cfg.consistency = o.consistency == "sc" ? core::Consistency::kSequential
+                                            : core::Consistency::kBuffered;
+    cfg.lock_impl = core::LockImpl::kCbl;
+    cfg.barrier_impl = core::BarrierImpl::kCbl;
+  } else if (o.machine == "wbi") {
+    cfg.data_protocol = core::DataProtocol::kWbi;
+    cfg.lock_impl = core::LockImpl::kTts;
+    cfg.barrier_impl = core::BarrierImpl::kCentral;
+  } else if (o.machine == "cbl-on-wbi") {
+    cfg.data_protocol = core::DataProtocol::kWbi;
+    cfg.lock_impl = core::LockImpl::kCbl;
+    cfg.barrier_impl = core::BarrierImpl::kCbl;
+  } else {
+    usage_error("unknown machine '" + o.machine + "'");
+  }
+  if (!o.lock.empty()) cfg.lock_impl = parse_lock(o.lock);
+  if (!o.barrier.empty()) cfg.barrier_impl = parse_barrier(o.barrier);
+  cfg.validate();
+  return cfg;
+}
+
+int run(const Options& o) {
+  core::Machine m(build_config(o));
+  std::unique_ptr<workload::WorkQueueWorkload> wq;
+  std::unique_ptr<workload::SyncModelWorkload> sm;
+  std::unique_ptr<workload::LinearSolverWorkload> solver;
+  std::unique_ptr<workload::StencilWorkload> stencil;
+  std::unique_ptr<workload::GridStencilWorkload> grid;
+  std::unique_ptr<workload::FftPhasesWorkload> fft;
+
+  if (o.workload == "work-queue") {
+    workload::WorkQueueConfig c;
+    c.total_tasks = o.tasks;
+    c.grain = o.grain;
+    wq = std::make_unique<workload::WorkQueueWorkload>(m, c);
+    wq->spawn_all(m);
+  } else if (o.workload == "sync-model") {
+    workload::SyncModelConfig c;
+    c.tasks_per_proc = std::max(1u, o.tasks / std::max(1u, o.nodes));
+    c.grain = o.grain;
+    sm = std::make_unique<workload::SyncModelWorkload>(m, c);
+    sm->spawn_all(m);
+  } else if (o.workload == "solver") {
+    workload::LinearSolverConfig c;
+    c.iterations = o.iters;
+    solver = std::make_unique<workload::LinearSolverWorkload>(m, c);
+    solver->spawn_all(m);
+  } else if (o.workload == "stencil") {
+    workload::StencilConfig c;
+    c.sweeps = o.iters;
+    stencil = std::make_unique<workload::StencilWorkload>(m, c);
+    stencil->spawn_all(m);
+  } else if (o.workload == "grid") {
+    workload::GridStencilConfig c;
+    c.sweeps = o.iters;
+    grid = std::make_unique<workload::GridStencilWorkload>(m, c);
+    grid->spawn_all(m);
+  } else if (o.workload == "fft") {
+    fft = std::make_unique<workload::FftPhasesWorkload>(m, workload::FftPhasesConfig{});
+    fft->spawn_all(m);
+  } else {
+    usage_error("unknown workload '" + o.workload + "'");
+  }
+
+  const Tick t = m.run();
+  std::printf("machine=%s workload=%s nodes=%u seed=%llu\n", o.machine.c_str(),
+              o.workload.c_str(), o.nodes, static_cast<unsigned long long>(o.seed));
+  std::printf("completion: %llu cycles\n", static_cast<unsigned long long>(t));
+  std::printf("network:    %llu messages, %llu contention cycles\n",
+              static_cast<unsigned long long>(m.stats().counter_value("net.messages")),
+              static_cast<unsigned long long>(
+                  m.stats().counter_value("net.contention_cycles")));
+  if (wq) {
+    std::printf("work queue: %llu tasks executed\n",
+                static_cast<unsigned long long>(wq->tasks_executed(m)));
+  }
+  if (solver) {
+    std::printf("solver:     residual %.3e, bit-exact vs host: %s\n", solver->residual(m),
+                solver->solution(m) == solver->reference() ? "yes" : "NO");
+  }
+  if (stencil) {
+    std::printf("stencil:    bit-exact vs host: %s\n",
+                stencil->result(m) == stencil->reference() ? "yes" : "NO");
+  }
+  if (grid) {
+    std::printf("grid:       bit-exact vs host: %s\n",
+                grid->result(m) == grid->reference() ? "yes" : "NO");
+  }
+  if (fft) {
+    std::printf("fft:        bit-exact vs host: %s\n",
+                fft->actual(m) == fft->expected() ? "yes" : "NO");
+  }
+  if (o.report) {
+    m.stats().report(std::cout);
+  }
+  if (!o.csv.empty()) {
+    std::ofstream out(o.csv);
+    if (!out) {
+      std::fprintf(stderr, "bcsim: cannot write %s\n", o.csv.c_str());
+      return 1;
+    }
+    m.stats().write_csv(out);
+    std::printf("stats written to %s\n", o.csv.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bcsim: %s\n", e.what());
+    return 1;
+  }
+}
