@@ -75,6 +75,11 @@ class LockCache {
   /// Number of acquisitions that had to wait for lock-cache capacity.
   [[nodiscard]] std::uint64_t stalls_served() const noexcept { return stalls_served_; }
 
+  /// Acquisitions currently parked for capacity. A non-full cache with
+  /// waiters is a lost wakeup — the invariant checker asserts this is zero
+  /// at quiescence.
+  [[nodiscard]] std::size_t waiting() const noexcept { return waiters_.size(); }
+
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (const auto& line : lines_) fn(line);

@@ -73,6 +73,13 @@ class WriteBuffer {
     }
   }
 
+  /// Continuations parked on the buffer (flush + slot waiters). An empty
+  /// buffer with waiters is a lost wakeup — the invariant checker asserts
+  /// this is zero at quiescence.
+  [[nodiscard]] std::size_t waiters() const noexcept {
+    return flush_waiters_.size() + slot_waiters_.size();
+  }
+
  private:
   std::size_t capacity_;
   std::size_t pending_ = 0;

@@ -90,7 +90,7 @@ void CacheController::on_ru_update(const net::Message& m) {
     ack.type = MsgType::kWriteGlobalAck;
     ack.block = m.block;
     ack.txn = m.txn;
-    sim_.schedule(config_.t_directory, [this, a = std::move(ack)] { net_.send(a); });
+    net_.send_at(sim_.now() + config_.t_directory, std::move(ack));
     return;
   }
   forward_chain(m);
@@ -103,7 +103,7 @@ void CacheController::forward_chain(const net::Message& m) {
   fwd.dst = fwd.chain.front();
   fwd.chain.erase(fwd.chain.begin());
   // One cache-directory lookup before the hop leaves this node.
-  sim_.schedule(config_.t_directory, [this, fwd = std::move(fwd)] { net_.send(fwd); });
+  net_.send_at(sim_.now() + config_.t_directory, std::move(fwd));
   stats_.counter("cache.chain_forwards").add();
 }
 

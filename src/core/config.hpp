@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "sim/invariants.hpp"
 #include "sim/types.hpp"
 
 namespace bcsim::core {
@@ -109,6 +110,18 @@ struct MachineConfig {
   BarrierImpl barrier_impl = BarrierImpl::kCentral;
 
   std::uint64_t seed = 1;
+
+  /// Same-tick event tie-break (see EventQueue::set_schedule_seed): 0 fires
+  /// same-tick events in scheduling order (the historical behavior, bit-
+  /// identical results); any other value picks a different deterministic
+  /// serialization of concurrent activity. Sweeping this explores protocol
+  /// interleavings without touching the programs.
+  std::uint64_t schedule_seed = 0;
+
+  /// How much protocol invariant checking the machine performs on itself
+  /// (docs/TESTING.md lists the invariants). kFull re-checks the home
+  /// entry after every directory transition.
+  sim::InvariantLevel invariants = sim::InvariantLevel::kOff;
 
   /// Throws std::invalid_argument on inconsistent settings.
   void validate() const {

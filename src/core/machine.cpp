@@ -7,6 +7,9 @@ namespace bcsim::core {
 Machine::Machine(const MachineConfig& config)
     : config_(config), amap_(config.block_words, config.n_nodes) {
   config_.validate();
+  // Before anything can schedule: the tie-break policy must cover every
+  // event of the simulation for a seed to name one schedule exactly.
+  sim_.set_schedule_seed(config_.schedule_seed);
   switch (config_.network) {
     case NetworkKind::kOmega:
       network_ = std::make_unique<net::OmegaNetwork>(sim_, stats_, config_.n_nodes,
@@ -42,6 +45,11 @@ Machine::Machine(const MachineConfig& config)
     network_->attach(i, net::Unit::kCache,
                      [c = caches_.back().get()](const net::Message& m) { c->on_message(m); });
   }
+  if (config_.invariants == sim::InvariantLevel::kFull) {
+    for (NodeId i = 0; i < config_.n_nodes; ++i) {
+      dirs_[i]->set_transition_hook([this, i](BlockId b) { checker_.check_entry(i, b); });
+    }
+  }
 }
 
 Tick Machine::run(Tick max_cycles) {
@@ -53,6 +61,9 @@ Tick Machine::run(Tick max_cycles) {
   for (const auto& t : programs_) t.rethrow_if_failed();
   if (result == sim::RunResult::kBudget) {
     throw std::runtime_error("Machine::run: cycle budget exhausted (livelock or budget too small)");
+  }
+  if (config_.invariants != sim::InvariantLevel::kOff && quiescent()) {
+    checker_.check_quiescent("end-of-run");
   }
   return sim_.now();
 }

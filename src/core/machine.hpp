@@ -13,6 +13,7 @@
 #include "mem/address.hpp"
 #include "net/network.hpp"
 #include "proto/directory_controller.hpp"
+#include "sim/invariants.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "sim/task.hpp"
@@ -100,6 +101,12 @@ class Machine {
   /// cache (memory is legitimately stale under a write-back protocol).
   [[nodiscard]] Word peek_coherent(Addr a) const;
 
+  /// Runs the full quiescent-state invariant sweep now, regardless of the
+  /// configured level; throws sim::InvariantViolation on the first broken
+  /// invariant. Only meaningful when quiescent() (the distributed queue
+  /// mirrors lag the directory while messages are in flight).
+  void check_invariants(const char* where = "on-demand") { checker_.check_quiescent(where); }
+
  private:
   MachineConfig config_;
   sim::Simulator sim_;
@@ -111,6 +118,7 @@ class Machine {
   std::vector<std::unique_ptr<Processor>> processors_;
   std::deque<sim::Task> programs_;  ///< deque: stable addresses across spawn
   std::size_t started_ = 0;         ///< programs_[0..started_) have started
+  sim::InvariantChecker checker_{*this};
 };
 
 }  // namespace bcsim::core

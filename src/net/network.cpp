@@ -43,7 +43,19 @@ void Network::send(Message msg) {
     arrive = route(msg, now);
     stats_.histogram("net.latency").record(arrive - now);
   }
-  simulator_.schedule_at(arrive, [this, m = std::move(msg)] { deliver(m); });
+  // Delivery rides the message's ordering channel: a schedule seed may
+  // permute deliveries racing on different links, but messages on one
+  // point-to-point link stay FIFO — the hardware guarantee the protocols
+  // are built on.
+  const std::uint64_t channel = channel_of(msg);
+  simulator_.schedule_at_channel(arrive, channel, [this, m = std::move(msg)] { deliver(m); });
+}
+
+void Network::send_at(Tick at, Message msg) {
+  const std::uint64_t channel = channel_of(msg);
+  simulator_.schedule_at_channel(at, channel, [this, m = std::move(msg)]() mutable {
+    send(std::move(m));
+  });
 }
 
 void Network::deliver(const Message& m) {

@@ -36,6 +36,21 @@ class Network {
   /// Injects a message; delivery is scheduled on the simulator.
   void send(Message msg);
 
+  /// Injects `msg` at absolute tick `at` (>= now). The deferred injection
+  /// event is tied to the message's ordering channel: two delayed sends on
+  /// one (src, dst, unit) link inject — and therefore arrive — in the order
+  /// they were scheduled, under every schedule seed. Controllers that model
+  /// service time before a reply (e.g. a memory access) must use this
+  /// rather than a bare simulator callback, or a schedule seed could
+  /// reorder their replies on the wire.
+  void send_at(Tick at, Message msg);
+
+  /// Ordering channel of a message: one FIFO per (src, dst, unit).
+  [[nodiscard]] static std::uint64_t channel_of(const Message& m) noexcept {
+    return (static_cast<std::uint64_t>(m.src) << 33) |
+           (static_cast<std::uint64_t>(m.dst) << 1) | (m.unit == Unit::kMemory ? 1u : 0u);
+  }
+
   [[nodiscard]] std::uint32_t n_nodes() const noexcept { return n_nodes_; }
 
   /// Service time (flits) a message of this size occupies a switch port.

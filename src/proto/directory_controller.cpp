@@ -35,6 +35,7 @@ bool DirectoryController::quiescent() const {
 void DirectoryController::on_message(const net::Message& m) {
   assert(amap_.home_of(m.block) == node_ && "message routed to wrong home");
   handle(m);
+  if (hook_) hook_(m.block);
 }
 
 void DirectoryController::handle(const net::Message& m) {
@@ -87,7 +88,7 @@ void DirectoryController::drain_blocked(BlockId b) {
 
 void DirectoryController::reply_after(Tick service, net::Message out) {
   const Tick done = memory_.occupy(sim_.now(), service);
-  sim_.schedule_at(done, [this, o = std::move(out)] { net_.send(o); });
+  net_.send_at(done, std::move(out));
 }
 
 net::Message DirectoryController::reply_to(const net::Message& m, net::MsgType type) const {

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -54,6 +55,23 @@ class DirectoryController {
   /// True if no block is in a transient state and no request is queued
   /// (used by tests to assert quiescence after a scenario completes).
   [[nodiscard]] bool quiescent() const;
+
+  /// Called after every processed message with the affected block; the
+  /// InvariantChecker hangs entry-local checks here (MachineConfig
+  /// invariants = kFull). Unset (the default) costs nothing.
+  using TransitionHook = std::function<void(BlockId)>;
+  void set_transition_hook(TransitionHook hook) { hook_ = std::move(hook); }
+
+  /// Visits every (block, entry) pair this directory has touched.
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (const auto& [b, e] : entries_) fn(b, e);
+  }
+
+  /// Mutable entry access for *fault injection only*: tests corrupt an
+  /// entry on purpose to prove the invariant checker catches real protocol
+  /// bugs (e.g. a lost unlock notification). Never called by the machine.
+  [[nodiscard]] mem::DirectoryEntry& mutable_entry(BlockId b) { return entry(b); }
 
  private:
   mem::DirectoryEntry& entry(BlockId b) { return entries_[b]; }
@@ -114,6 +132,7 @@ class DirectoryController {
   sim::StatsRegistry& stats_;
   mem::MemoryModule memory_;
   std::unordered_map<BlockId, mem::DirectoryEntry> entries_;
+  TransitionHook hook_;
 };
 
 }  // namespace bcsim::proto

@@ -54,10 +54,10 @@ void DirectoryController::on_write_global(const net::Message& m) {
     upd.txn = m.txn;
     upd.who = m.src;  // the last hop acks the writer
     upd.value = e.ru_version;
-    sim_.schedule_at(done, [this, u = std::move(upd)] { net_.send(u); });
+    net_.send_at(done, std::move(upd));
   } else {
     auto ack = reply_to(m, MsgType::kWriteGlobalAck);
-    sim_.schedule_at(done, [this, a = std::move(ack)] { net_.send(a); });
+    net_.send_at(done, std::move(ack));
   }
 }
 
@@ -74,7 +74,7 @@ void DirectoryController::propagate_update(mem::DirectoryEntry& e, BlockId b, Ti
   upd.dst = e.ru_list.front();
   upd.chain.assign(e.ru_list.begin() + 1, e.ru_list.end());
   upd.value = e.ru_version;
-  sim_.schedule_at(when, [this, u = std::move(upd)] { net_.send(u); });
+  net_.send_at(when, std::move(upd));
 }
 
 void DirectoryController::on_read_update(const net::Message& m) {
@@ -141,7 +141,7 @@ void DirectoryController::on_reset_update(const net::Message& m) {
     s.block = m.block;
     s.who = m.src;
     s.value = new_neighbor == kNoNode ? 0 : static_cast<Word>(new_neighbor) + 1;
-    sim_.schedule_at(done, [this, s = std::move(s)] { net_.send(s); });
+    net_.send_at(done, std::move(s));
   };
   splice(prev, next);
   splice(next, prev);
@@ -169,7 +169,7 @@ void DirectoryController::on_bar_arrive(const net::Message& m) {
   // waiters get a chained kBarRelease (paper Table 3: "barrier notify").
   ack.aux = 1;
   const Tick done = memory_.occupy(sim_.now(), config_.t_directory + config_.t_memory);
-  sim_.schedule_at(done, [this, a = std::move(ack)] { net_.send(a); });
+  net_.send_at(done, std::move(ack));
   if (!e.barrier_waiters.empty()) {
     Message rel;
     rel.src = node_;
@@ -178,7 +178,7 @@ void DirectoryController::on_bar_arrive(const net::Message& m) {
     rel.block = m.block;
     rel.dst = e.barrier_waiters.front();
     rel.chain.assign(e.barrier_waiters.begin() + 1, e.barrier_waiters.end());
-    sim_.schedule_at(done, [this, r = std::move(rel)] { net_.send(r); });
+    net_.send_at(done, std::move(rel));
   }
   e.barrier_count = 0;
   e.barrier_waiters.clear();

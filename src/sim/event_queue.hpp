@@ -1,8 +1,15 @@
 // Time-ordered event queue: the heart of the discrete-event kernel.
 //
-// Events are (tick, sequence, callback). The sequence number breaks ties so
-// that two events scheduled for the same tick fire in scheduling order; this
-// makes every simulation bit-reproducible and independent of heap internals.
+// Events are (tick, key, sequence, callback). The key breaks same-tick ties:
+// with schedule seed 0 (the default) it equals the sequence number, so events
+// scheduled for the same tick fire in scheduling order and every simulation
+// is bit-reproducible and independent of heap internals. A nonzero schedule
+// seed replaces the key with a SplitMix64 hash of (seed, seq), firing
+// same-tick events in a deterministically permuted order — a different but
+// equally legal serialization of concurrent activity. Events pushed on an
+// ordering channel (push_channel) share a key per channel, so a seed can
+// never reorder a point-to-point FIFO link. Sweeping seeds is how the test
+// suite explores protocol interleavings (docs/TESTING.md).
 #pragma once
 
 #include <algorithm>
@@ -11,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/random.hpp"
 #include "sim/types.hpp"
 
 namespace bcsim::sim {
@@ -19,17 +27,40 @@ namespace bcsim::sim {
 /// small (a coroutine handle or a component method bound to a message).
 using EventFn = std::function<void()>;
 
-/// Min-heap of events ordered by (tick, seq).
+/// Min-heap of events ordered by (tick, key, seq).
 class EventQueue {
  public:
   EventQueue() = default;
+
+  /// Selects the same-tick tie-break policy. Seed 0 restores strict FIFO
+  /// (scheduling order); any other seed fires same-tick events in a
+  /// deterministic pseudo-random permutation. Must be set before the first
+  /// push — changing the policy mid-heap would reorder already-keyed events.
+  void set_schedule_seed(std::uint64_t seed) noexcept { schedule_seed_ = seed; }
+  [[nodiscard]] std::uint64_t schedule_seed() const noexcept { return schedule_seed_; }
 
   /// Schedules `fn` to fire at absolute time `at`. Returns the event's
   /// unique sequence number (usable for debugging; events cannot be
   /// cancelled — cancellation is modeled by the callback checking a flag,
   /// which keeps the queue trivially correct).
   std::uint64_t push(Tick at, EventFn fn) {
-    heap_.push_back(Item{at, next_seq_, std::move(fn)});
+    heap_.push_back(Item{at, tie_key(next_seq_), next_seq_, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return next_seq_++;
+  }
+
+  /// Like push(), but ties the event to an ordering channel: same-tick
+  /// events on the same channel always fire in scheduling order, under any
+  /// schedule seed. The network uses one channel per (src, dst, unit) so a
+  /// seed permutes genuinely concurrent activity but can never reorder two
+  /// messages on one point-to-point link — hardware keeps those FIFO, and
+  /// the protocols rely on it.
+  std::uint64_t push_channel(Tick at, std::uint64_t channel, EventFn fn) {
+    const std::uint64_t key =
+        (schedule_seed_ == 0)
+            ? next_seq_
+            : SplitMix64(schedule_seed_ ^ (channel * 0x9e3779b97f4a7c15ULL)).next();
+    heap_.push_back(Item{at, key, next_seq_, std::move(fn)});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
     return next_seq_++;
   }
@@ -53,19 +84,29 @@ class EventQueue {
  private:
   struct Item {
     Tick at;
-    std::uint64_t seq;
+    std::uint64_t key;  ///< same-tick tie-break (== seq when seed is 0)
+    std::uint64_t seq;  ///< final tie-break: keys may collide, seqs cannot
     EventFn fn;
   };
   /// Comparator for std::push_heap (max-heap semantics -> invert to min).
   struct Later {
     bool operator()(const Item& a, const Item& b) const noexcept {
       if (a.at != b.at) return a.at > b.at;
+      if (a.key != b.key) return a.key > b.key;
       return a.seq > b.seq;
     }
   };
 
+  [[nodiscard]] std::uint64_t tie_key(std::uint64_t seq) const noexcept {
+    if (schedule_seed_ == 0) return seq;
+    // SplitMix64 over (seed, seq): a high-quality deterministic hash, so
+    // every seed induces an independent-looking same-tick permutation.
+    return SplitMix64(schedule_seed_ ^ (seq * 0x9e3779b97f4a7c15ULL)).next();
+  }
+
   std::vector<Item> heap_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t schedule_seed_ = 0;
 };
 
 }  // namespace bcsim::sim

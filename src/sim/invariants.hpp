@@ -1,0 +1,81 @@
+// Global protocol invariant checking (docs/TESTING.md has the full list).
+//
+// The simulator mirrors all distributed protocol state authoritatively at
+// the directories (subscription lists, lock chains), which makes global
+// invariants — SWMR, queue well-formedness, subscription-list integrity —
+// cheap to state and check. The InvariantChecker walks the whole machine
+// and cross-checks the directory mirrors against the distributed cache
+// state. Two granularities:
+//
+//   * entry-local checks run after every directory transition (messages may
+//     be in flight, so only invariants that hold continuously are checked);
+//   * whole-machine checks require quiescence (no message in flight), when
+//     the distributed pointers must agree exactly with the mirrors.
+//
+// Violations throw InvariantViolation carrying the offending block, node,
+// and tick so a failing schedule seed can be replayed straight to the bug.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "sim/types.hpp"
+
+namespace bcsim::core {
+class Machine;
+}
+
+namespace bcsim::sim {
+
+/// How much invariant checking a Machine performs on its own.
+enum class InvariantLevel : std::uint8_t {
+  kOff,      ///< no checking (production/bench default)
+  kQuiesce,  ///< whole-machine check at the end of every Machine::run()
+  kFull,     ///< kQuiesce + entry-local checks after every directory transition
+};
+
+[[nodiscard]] constexpr std::string_view to_string(InvariantLevel l) noexcept {
+  switch (l) {
+    case InvariantLevel::kOff: return "off";
+    case InvariantLevel::kQuiesce: return "quiesce";
+    case InvariantLevel::kFull: return "full";
+  }
+  return "?";
+}
+
+/// Thrown on any violated invariant; what() is a full diagnostic of the
+/// form "invariant violation [name] at tick T, block B (home H), node N: …".
+class InvariantViolation : public std::logic_error {
+ public:
+  InvariantViolation(const std::string& what, BlockId block_, NodeId node_, Tick tick_)
+      : std::logic_error(what), block(block_), node(node_), tick(tick_) {}
+
+  BlockId block;  ///< offending block
+  NodeId node;    ///< offending node (kNoNode when the fault is entry-global)
+  Tick tick;      ///< simulated time of detection
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(core::Machine& machine) : m_(machine) {}
+
+  /// Entry-local invariants for one block at its home directory: list/chain
+  /// well-formedness, usage-bit exclusivity, WBI state sanity. Safe while
+  /// messages are in flight; cheap enough to run after every transition.
+  void check_entry(NodeId home, BlockId block) const;
+
+  /// Whole-machine invariants: SWMR cross-checked against every cache,
+  /// subscription-list pointer integrity and termination, lock-queue
+  /// holder/waiter agreement, write buffers drained, per-word dirty/merge
+  /// consistency. Only valid when Machine::quiescent() — the distributed
+  /// mirrors lag the directory while messages are in flight. `where` names
+  /// the checkpoint in diagnostics (e.g. "end-of-run").
+  void check_quiescent(const char* where) const;
+
+ private:
+  core::Machine& m_;
+};
+
+}  // namespace bcsim::sim

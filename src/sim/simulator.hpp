@@ -29,6 +29,12 @@ class Simulator {
   /// Current simulated time in cycles.
   [[nodiscard]] Tick now() const noexcept { return now_; }
 
+  /// Same-tick tie-break policy (see EventQueue::set_schedule_seed): 0 is
+  /// strict FIFO, any other seed a deterministic permutation. Set before
+  /// the first schedule() call.
+  void set_schedule_seed(std::uint64_t seed) noexcept { queue_.set_schedule_seed(seed); }
+  [[nodiscard]] std::uint64_t schedule_seed() const noexcept { return queue_.schedule_seed(); }
+
   /// Schedules `fn` to run `delay` cycles from now.
   void schedule(Tick delay, EventFn fn) { queue_.push(now_ + delay, std::move(fn)); }
 
@@ -36,6 +42,13 @@ class Simulator {
   void schedule_at(Tick at, EventFn fn) {
     if (at < now_) throw std::logic_error("Simulator: scheduling into the past");
     queue_.push(at, std::move(fn));
+  }
+
+  /// schedule_at() on an ordering channel: same-tick events on one channel
+  /// keep scheduling order under every schedule seed (point-to-point FIFO).
+  void schedule_at_channel(Tick at, std::uint64_t channel, EventFn fn) {
+    if (at < now_) throw std::logic_error("Simulator: scheduling into the past");
+    queue_.push_channel(at, channel, std::move(fn));
   }
 
   /// Requests the event loop to return after the current event.

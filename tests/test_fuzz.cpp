@@ -1,11 +1,16 @@
 // Fuzz tests: randomly generated (but well-formed) programs across many
 // seeds must always terminate, quiesce, and reproduce deterministically on
-// both machines. Plus exhaustive two-processor interleaving sweeps for the
-// lock protocol — every (stagger_a, stagger_b) offset pair in a window.
+// both machines. Every fuzz run doubles as an invariant-checker workout:
+// random programs execute under (program_seed, schedule_seed) pairs with
+// full invariant checking, so both the program space and the same-tick
+// event orderings get explored together (docs/TESTING.md). Plus exhaustive
+// two-processor interleaving sweeps for the lock protocol — every
+// (stagger_a, stagger_b) offset pair in a window.
 #include <gtest/gtest.h>
 
 #include <vector>
 
+#include "sim/invariants.hpp"
 #include "test_util.hpp"
 
 namespace bcsim {
@@ -121,6 +126,74 @@ TEST_P(FuzzSeeds, RandomProgramsAreDeterministic) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range<std::uint64_t>(1, 17));
+
+// ---------------------------------------------------------------------------
+// (program_seed, schedule_seed) pairs: the program generator picks what the
+// processors do; the schedule seed picks how same-tick events interleave.
+// Crossing the two explores far more protocol corners than either axis
+// alone, and full invariant checking turns every run into an oracle.
+// ---------------------------------------------------------------------------
+
+void run_fuzz_pair(std::uint64_t program_seed, std::uint64_t schedule_seed) {
+  for (bool paper : {true, false}) {
+    auto cfg = paper ? paper_config(5) : small_config(5);
+    cfg.network = core::NetworkKind::kOmega;
+    cfg.seed = program_seed;
+    cfg.schedule_seed = schedule_seed;
+    cfg.invariants = sim::InvariantLevel::kFull;
+    cfg.lock_cache_entries = 4;
+    if (!paper) cfg.lock_impl = core::LockImpl::kCbl;
+    Machine m(cfg);
+    FuzzProgram prog{{0, 16, 32}, 90, paper};
+    for (NodeId i = 0; i < 5; ++i) m.spawn(prog(m.processor(i)));
+    SCOPED_TRACE(::testing::Message()
+                 << (paper ? "paper" : "wbi") << " program_seed=" << program_seed
+                 << " schedule_seed=" << schedule_seed);
+    run_all(m);  // any invariant violation throws out of Machine::run
+  }
+}
+
+class FuzzPairs
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {};
+
+TEST_P(FuzzPairs, RandomProgramsHoldInvariantsUnderRandomSchedules) {
+  run_fuzz_pair(std::get<0>(GetParam()), std::get<1>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, FuzzPairs,
+                         ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 5, 11),
+                                            ::testing::Values<std::uint64_t>(0, 1, 7, 23)));
+
+// Regression corpus: (program_seed, schedule_seed) pairs that once exposed
+// bugs or stressed rare transitions. Grown over time — when `bcsim check`
+// or a fuzz sweep finds a failing pair, it gets pinned here so the exact
+// interleaving replays on every tier-1 run.
+struct CorpusEntry {
+  std::uint64_t program_seed;
+  std::uint64_t schedule_seed;
+  const char* why;
+};
+
+constexpr CorpusEntry kRegressionCorpus[] = {
+    // Found while bringing up Network::send_at: a directory DataS reply and
+    // a later same-tick invalidation swapped on the wire, leaving a cached
+    // sharer missing from the directory's sharer set (wbi-sharers).
+    {3, 3, "DataS/Inv same-tick send reorder at the directory"},
+    // Lock-chain handoff with the releaser re-requesting before its unlock
+    // notification lands: the chain transiently names the node twice.
+    {1, 14, "CBL re-request while handoff-done notify in flight"},
+    // Heavy reset_update traffic against a propagating update wave.
+    {9, 5, "RESET-UPDATE racing update propagation down the chain"},
+    // Seed 0 baseline: the corpus must also cover plain FIFO order.
+    {7, 0, "FIFO baseline with three-level lock hierarchy"},
+};
+
+TEST(FuzzCorpus, PinnedSeedPairsStayClean) {
+  for (const auto& c : kRegressionCorpus) {
+    SCOPED_TRACE(c.why);
+    run_fuzz_pair(c.program_seed, c.schedule_seed);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Exhaustive two-processor interleaving sweep: every (a, b) stagger pair in

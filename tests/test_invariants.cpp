@@ -1,0 +1,183 @@
+// The invariant checker itself (docs/TESTING.md): healthy protocol runs
+// sail through the strictest level, and injected protocol faults — a lost
+// unlock notification, a forged owner, a dropped subscriber — are caught
+// with a diagnostic naming the offending block, node, and tick.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/invariants.hpp"
+#include "test_util.hpp"
+
+namespace bcsim {
+namespace {
+
+using core::Machine;
+using core::MachineConfig;
+using core::Processor;
+using sim::InvariantViolation;
+
+constexpr Addr kLock = 16;
+
+sim::Task lock_worker(Processor& p, int iters) {
+  for (int k = 0; k < iters; ++k) {
+    co_await p.write_lock(kLock);
+    const Word v = co_await p.read(kLock + 1);
+    co_await p.write(kLock + 1, v + 1);
+    co_await p.unlock(kLock);
+  }
+}
+
+MachineConfig full(MachineConfig cfg) {
+  cfg.invariants = sim::InvariantLevel::kFull;
+  return cfg;
+}
+
+TEST(Invariants, HealthyLockRunPassesFullChecking) {
+  for (const bool paper : {true, false}) {
+    auto cfg = full(paper ? test::paper_config(4) : test::small_config(4));
+    cfg.lock_impl = core::LockImpl::kCbl;
+    Machine m(cfg);
+    for (NodeId i = 0; i < cfg.n_nodes; ++i) m.spawn(lock_worker(m.processor(i), 4));
+    test::run_all(m);  // end-of-run check runs inside Machine::run
+    EXPECT_EQ(m.peek_memory(kLock + 1), 16u);
+    EXPECT_NO_THROW(m.check_invariants("test"));
+  }
+}
+
+TEST(Invariants, HealthySubscriptionRunPassesFullChecking) {
+  auto cfg = full(test::paper_config(4));
+  Machine m(cfg);
+  struct Prog {
+    sim::Task operator()(Processor& p) const {
+      co_await p.read_update(0);
+      for (int k = 0; k < 4; ++k) {
+        co_await p.write_global(4 * p.id(), p.id() + k);
+        co_await p.flush_buffer();
+      }
+    }
+  } prog;
+  for (NodeId i = 0; i < cfg.n_nodes; ++i) m.spawn(prog(m.processor(i)));
+  test::run_all(m);
+  EXPECT_NO_THROW(m.check_invariants("test"));
+}
+
+// A "protocol bug" where a cache releases its lock but the unlock
+// notification never reaches the directory: the chain mirror keeps naming a
+// node whose lock cache has long dropped the line.
+TEST(Invariants, SkippedUnlockNotificationIsCaught) {
+  auto cfg = full(test::small_config(4));
+  cfg.lock_impl = core::LockImpl::kCbl;
+  Machine m(cfg);
+  for (NodeId i = 0; i < cfg.n_nodes; ++i) m.spawn(lock_worker(m.processor(i), 2));
+  test::run_all(m);
+
+  const BlockId b = m.address_map().block_of(kLock);
+  const NodeId home = m.address_map().home_of(b);
+  auto& e = m.directory(home).mutable_entry(b);
+  // The state a lost unlock notification leaves behind: node 2 still
+  // chained as the write holder.
+  e.lock_chain.push_back({NodeId{2}, net::LockMode::kWrite});
+  e.lock_holders = 1;
+  e.usage_lock = true;
+
+  try {
+    m.check_invariants("fault-injection");
+    FAIL() << "corrupted lock chain not detected";
+  } catch (const InvariantViolation& v) {
+    EXPECT_EQ(v.block, b);
+    EXPECT_EQ(v.node, 2u);
+    EXPECT_EQ(v.tick, m.simulator().now());
+    EXPECT_NE(std::string(v.what()).find("cbl-"), std::string::npos) << v.what();
+    EXPECT_NE(std::string(v.what()).find("block " + std::to_string(b)), std::string::npos)
+        << v.what();
+  }
+}
+
+// A forged WBI owner: the directory believes another node holds the
+// modified copy. Single-writer/multiple-reader cross-checking must object.
+TEST(Invariants, ForgedOwnerViolatesSwmr) {
+  auto cfg = full(test::small_config(4));
+  Machine m(cfg);
+  struct Prog {
+    sim::Task operator()(Processor& p) const {
+      co_await p.write(64, 99);  // node 0 takes block 16 modified
+    }
+  } prog;
+  m.spawn(prog(m.processor(0)));
+  test::run_all(m);
+
+  const BlockId b = m.address_map().block_of(64);
+  const NodeId home = m.address_map().home_of(b);
+  auto& e = m.directory(home).mutable_entry(b);
+  ASSERT_EQ(e.state, mem::DirState::kModified);
+  ASSERT_EQ(e.owner, 0u);
+  e.owner = 1;  // forged
+
+  try {
+    m.check_invariants("fault-injection");
+    FAIL() << "forged owner not detected";
+  } catch (const InvariantViolation& v) {
+    EXPECT_EQ(v.block, b);
+    EXPECT_NE(std::string(v.what()).find("wbi-swmr"), std::string::npos) << v.what();
+  }
+}
+
+// A dropped subscriber: the directory loses a node from its READ-UPDATE
+// list while that cache still carries the update bit — updates would
+// silently stop reaching it.
+TEST(Invariants, DroppedSubscriberIsCaught) {
+  auto cfg = full(test::paper_config(4));
+  Machine m(cfg);
+  struct Prog {
+    sim::Task operator()(Processor& p) const { co_await p.read_update(0); }
+  } prog;
+  for (NodeId i = 0; i < 3; ++i) m.spawn(prog(m.processor(i)));
+  test::run_all(m);
+
+  const BlockId b = m.address_map().block_of(0);
+  const NodeId home = m.address_map().home_of(b);
+  auto& e = m.directory(home).mutable_entry(b);
+  ASSERT_GE(e.ru_list.size(), 2u);
+  const NodeId dropped = e.ru_list.back();
+  e.ru_list.pop_back();
+
+  try {
+    m.check_invariants("fault-injection");
+    FAIL() << "dropped subscriber not detected";
+  } catch (const InvariantViolation& v) {
+    EXPECT_EQ(v.block, b);
+    EXPECT_NE(std::string(v.what()).find("ru-"), std::string::npos) << v.what();
+    // Either the truncated list's dangling tail pointer or the orphaned
+    // subscriber itself is named — both identify the dropped node's fault.
+    EXPECT_TRUE(v.node == dropped || v.node == e.ru_list.back()) << v.what();
+  }
+}
+
+// Entry-local checking (kFull) fires during the run, not only at the end:
+// a transition hook observing a corrupted mirror throws from inside the
+// event loop and surfaces through Machine::run.
+TEST(Invariants, CorruptionMidRunSurfacesThroughRun) {
+  auto cfg = full(test::small_config(4));
+  cfg.lock_impl = core::LockImpl::kCbl;
+  Machine m(cfg);
+  for (NodeId i = 0; i < cfg.n_nodes; ++i) m.spawn(lock_worker(m.processor(i), 2));
+  m.run_until(5);  // lock requests now in flight
+  const BlockId b = m.address_map().block_of(kLock);
+  const NodeId home = m.address_map().home_of(b);
+  auto& e = m.directory(home).mutable_entry(b);
+  e.usage_lock = false;  // lie about the usage bit with a chain pending
+  if (e.lock_chain.empty()) {
+    GTEST_SKIP() << "no chain formed this early; nothing to corrupt";
+  }
+  EXPECT_THROW(m.run(1'000'000), InvariantViolation);
+}
+
+TEST(Invariants, LevelRoundTrips) {
+  EXPECT_EQ(sim::to_string(sim::InvariantLevel::kOff), "off");
+  EXPECT_EQ(sim::to_string(sim::InvariantLevel::kQuiesce), "quiesce");
+  EXPECT_EQ(sim::to_string(sim::InvariantLevel::kFull), "full");
+}
+
+}  // namespace
+}  // namespace bcsim

@@ -169,6 +169,256 @@ TEST(Litmus, BarrierSeparatesPhasesOnBothMachines) {
   for (NodeId i = 0; i < 8; ++i) EXPECT_EQ(sums[i], 36u) << "node " << i;
 }
 
+// ---------------------------------------------------------------------------
+// Store-buffer litmus (SB): P0 writes x then reads y; P1 writes y then
+// reads x. Both-read-zero is the signature weak outcome of buffered
+// writes; a CP-Synch flush between the write and the read forbids it.
+// Each processor reads its *subscribed local copy* of the other's
+// variable, so the unflushed read deterministically beats the update's
+// chain hop — no scheduling luck involved.
+// ---------------------------------------------------------------------------
+
+struct SbOutcome {
+  Word r0 = ~Word{0};
+  Word r1 = ~Word{0};
+};
+
+SbOutcome run_sb(bool flushed) {
+  auto cfg = paper_config(4);
+  Machine m(cfg);
+  SbOutcome out;
+  struct Subscribe {
+    Addr a;
+    sim::Task operator()(Processor& p) const { co_await p.read_update(a); }
+  };
+  // P0 subscribes to y, P1 to x, settled before the race starts.
+  Subscribe sub_y{kFlag};
+  Subscribe sub_x{kData};
+  m.spawn(sub_y(m.processor(0)));
+  m.spawn(sub_x(m.processor(1)));
+  m.run();
+  struct Side {
+    Addr mine, other;
+    bool flush;
+    Word& r;
+    sim::Task operator()(Processor& p) const {
+      co_await p.write_global(mine, 1);
+      if (flush) co_await p.flush_buffer();
+      r = co_await p.read_update(other);  // local subscribed copy
+    }
+  };
+  Side side0{kData, kFlag, flushed, out.r0};
+  Side side1{kFlag, kData, flushed, out.r1};
+  m.spawn(side0(m.processor(0)));
+  m.spawn(side1(m.processor(1)));
+  run_all(m);
+  return out;
+}
+
+TEST(Litmus, StoreBufferWithFlushForbidsBothZero) {
+  // After a flush the write is globally performed — delivered to every
+  // subscriber — before the read issues, so at least one side must see
+  // the other's write.
+  const auto out = run_sb(/*flushed=*/true);
+  EXPECT_FALSE(out.r0 == 0u && out.r1 == 0u)
+      << "both sides read 0 past a flush: CP-Synch ordering broken";
+}
+
+TEST(Litmus, StoreBufferWithoutFlushReadsZeroBothSides) {
+  // Unflushed, each local read beats the other side's chain hop: the
+  // buffered model must actually exhibit its weak outcome.
+  const auto out = run_sb(/*flushed=*/false);
+  EXPECT_EQ(out.r0, 0u) << "unflushed SB read unexpectedly ordered";
+  EXPECT_EQ(out.r1, 0u) << "unflushed SB read unexpectedly ordered";
+}
+
+// ---------------------------------------------------------------------------
+// IRIW litmus: writers W1 (x=1) and W2 (y=1); reader R1 looks at x then y,
+// reader R2 at y then x. Subscription chains are deliberately asymmetric —
+// R1 heads x's chain but tails y's, R2 the mirror image — so each reader
+// sees "its" write first and the two disagree on the write order: update
+// propagation is visibly non-atomic, which buffered consistency permits.
+// READ-GLOBAL reads (straight to the home memory module) restore a
+// per-location serialization that makes the disagreement impossible.
+// ---------------------------------------------------------------------------
+
+struct IriwOutcome {
+  Word r1_second = ~Word{0};  // R1's read of y, taken the moment it sees x=1
+  Word r2_second = ~Word{0};  // R2's read of x, taken the moment it sees y=1
+};
+
+TEST(Litmus, IriwSubscriptionChainsExhibitNonAtomicUpdates) {
+  auto cfg = paper_config(8);
+  Machine m(cfg);
+  IriwOutcome out;
+  struct Subscribe {
+    Addr a;
+    sim::Task operator()(Processor& p) const { co_await p.read_update(a); }
+  };
+  // Subscribers push onto the head of the chain, so subscribe in reverse
+  // of the delivery order we want. x's chain: R1(2), 4, 5, 6, 7, R2(3).
+  for (const NodeId n : {3u, 7u, 6u, 5u, 4u, 2u}) {
+    Subscribe sub{kData};
+    m.spawn(sub(m.processor(n)));
+    m.run();
+  }
+  // y's chain: R2(3), 4, 5, 6, 7, R1(2).
+  for (const NodeId n : {2u, 7u, 6u, 5u, 4u, 3u}) {
+    Subscribe sub{kFlag};
+    m.spawn(sub(m.processor(n)));
+    m.run();
+  }
+  struct Writer {
+    Addr a;
+    sim::Task operator()(Processor& p) const {
+      co_await p.write_global(a, 1);
+      co_await p.flush_buffer();
+    }
+  };
+  struct Reader {
+    Addr first, second;
+    Word& r;
+    sim::Task operator()(Processor& p) const {
+      for (;;) {
+        const Word f = co_await p.read_update(first);
+        if (f == 1) break;
+        co_await p.wait_word_change(first, f);
+      }
+      r = co_await p.read_update(second);  // local copy, same instant
+    }
+  };
+  Reader r1{kData, kFlag, out.r1_second};
+  Reader r2{kFlag, kData, out.r2_second};
+  Writer w1{kData};
+  Writer w2{kFlag};
+  m.spawn(r1(m.processor(2)));
+  m.spawn(r2(m.processor(3)));
+  m.spawn(w1(m.processor(0)));
+  m.spawn(w2(m.processor(1)));
+  run_all(m);
+  // Each reader saw its own variable flip while the other update was
+  // still mid-chain: the classic IRIW disagreement.
+  EXPECT_EQ(out.r1_second, 0u) << "y's update overtook its chain";
+  EXPECT_EQ(out.r2_second, 0u) << "x's update overtook its chain";
+}
+
+TEST(Litmus, IriwReadGlobalNeverDisagrees) {
+  // Memory-direct reads serialize at the home module; the IRIW weak
+  // outcome would need R1 to read y at its home before y=1 arrives AND R2
+  // to read x before x=1 arrives — after each has already seen the other
+  // write performed. Real time forbids it; sweep schedules to probe.
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    auto cfg = paper_config(8);
+    cfg.schedule_seed = s;
+    cfg.invariants = sim::InvariantLevel::kQuiesce;
+    Machine m(cfg);
+    IriwOutcome out;
+    struct Writer {
+      Addr a;
+      sim::Task operator()(Processor& p) const {
+        co_await p.compute(40);
+        co_await p.write_global(a, 1);
+        co_await p.flush_buffer();
+      }
+    };
+    struct Reader {
+      Addr first, second;
+      Word& r;
+      sim::Task operator()(Processor& p) const {
+        for (;;) {
+          // Bind the awaited value before testing it: gcc 12 miscompiles a
+          // co_await inside an unbounded loop's if-condition (the coroutine
+          // frame never runs), so keep awaits as standalone statements.
+          const Word v = co_await p.read_global(first);
+          if (v == 1) break;
+          co_await p.compute(3);
+        }
+        r = co_await p.read_global(second);
+      }
+    };
+    Reader r1{kData, kFlag, out.r1_second};
+    Reader r2{kFlag, kData, out.r2_second};
+    Writer w1{kData};
+    Writer w2{kFlag};
+    m.spawn(r1(m.processor(2)));
+    m.spawn(r2(m.processor(3)));
+    m.spawn(w1(m.processor(0)));
+    m.spawn(w2(m.processor(1)));
+    run_all(m);
+    EXPECT_FALSE(out.r1_second == 0u && out.r2_second == 0u)
+        << "IRIW weak outcome through serialized memory reads, seed " << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RESET-UPDATE vs. update propagation: a middle subscriber unsubscribes
+// while a writer's updates are streaming down the subscription list. The
+// splice must never strand a subscriber or lose an update — checked by
+// full invariants at every directory transition plus functional checks on
+// the survivors, across schedule seeds x unsubscribe timings.
+// ---------------------------------------------------------------------------
+
+TEST(Litmus, ResetUpdateRacingPropagationKeepsSurvivorsCoherent) {
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    for (const Tick delay : {Tick{0}, Tick{3}, Tick{9}, Tick{15}}) {
+      auto cfg = paper_config(4);
+      cfg.schedule_seed = s;
+      cfg.invariants = sim::InvariantLevel::kFull;
+      Machine m(cfg);
+      struct Subscribe {
+        sim::Task operator()(Processor& p) const { co_await p.read_update(kData); }
+      };
+      // Chain after phased subscription: head 3, then 2, tail 1 — node 2
+      // sits mid-chain, the interesting splice position.
+      for (const NodeId n : {1u, 2u, 3u}) {
+        Subscribe sub{};
+        m.spawn(sub(m.processor(n)));
+        m.run();
+      }
+      struct Writer {
+        sim::Task operator()(Processor& p) const {
+          for (Word k = 0; k < 10; ++k) co_await p.write_global(kData, 100 + k);
+          co_await p.flush_buffer();
+        }
+      };
+      struct Quitter {
+        Tick delay;
+        sim::Task operator()(Processor& p) const {
+          co_await p.compute(delay);
+          co_await p.reset_update(kData);  // splice out mid-propagation
+        }
+      };
+      Word seen1 = 0, seen3 = 0;
+      struct Survivor {
+        Word& seen;
+        sim::Task operator()(Processor& p) const {
+          for (;;) {
+            const Word v = co_await p.read_update(kData);
+            if (v == 109) {
+              seen = v;
+              co_return;
+            }
+            co_await p.wait_word_change(kData, v);
+          }
+        }
+      };
+      Writer writer{};
+      Quitter quitter{delay};
+      Survivor sur1{seen1};
+      Survivor sur3{seen3};
+      m.spawn(writer(m.processor(0)));
+      m.spawn(quitter(m.processor(2)));
+      m.spawn(sur1(m.processor(1)));
+      m.spawn(sur3(m.processor(3)));
+      run_all(m);
+      EXPECT_EQ(seen1, 109u) << "seed " << s << " delay " << delay;
+      EXPECT_EQ(seen3, 109u) << "seed " << s << " delay " << delay;
+      EXPECT_EQ(m.peek_memory(kData), 109u);
+      EXPECT_NO_THROW(m.check_invariants("litmus"));
+    }
+  }
+}
+
 TEST(Litmus, NpSynchLockAcquireDoesNotWaitForPriorWrites) {
   // The paper's headline relaxation: a lock (NP-Synch) may be acquired
   // while earlier global writes are still in flight.

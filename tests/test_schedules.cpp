@@ -1,0 +1,207 @@
+// Schedule-seed exploration (docs/TESTING.md): the same program must be
+// correct under every same-tick event permutation, and any single seed must
+// replay bit-identically. Litmus shapes run under >= 64 seeds on both the
+// paper machine (read-update + BC + CBL) and the WBI baseline, with full
+// invariant checking wired into every directory transition.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/invariants.hpp"
+#include "test_util.hpp"
+
+namespace bcsim {
+namespace {
+
+using core::Machine;
+using core::MachineConfig;
+using core::Processor;
+
+constexpr std::uint64_t kSeeds = 64;
+
+MachineConfig checked(MachineConfig cfg, std::uint64_t schedule_seed) {
+  // The omega network (not the ideal one) so seeds actually shuffle
+  // contended port timing, plus invariants at every directory transition.
+  cfg.network = core::NetworkKind::kOmega;
+  cfg.schedule_seed = schedule_seed;
+  cfg.invariants = sim::InvariantLevel::kFull;
+  return cfg;
+}
+
+/// Fingerprint of one run, for determinism and diversity checks.
+struct RunShape {
+  Tick completion;
+  std::uint64_t messages;
+  bool operator<(const RunShape& o) const {
+    return completion != o.completion ? completion < o.completion : messages < o.messages;
+  }
+  bool operator==(const RunShape& o) const {
+    return completion == o.completion && messages == o.messages;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Message passing: writer publishes data then a flag; reader spins on the
+// flag and must never read stale data, under any schedule.
+// ---------------------------------------------------------------------------
+
+struct MpResult {
+  RunShape shape;
+  Word seen;
+};
+
+MpResult run_mp(const MachineConfig& cfg) {
+  Machine m(cfg);
+  const bool ru = cfg.data_protocol == core::DataProtocol::kReadUpdate;
+  const Addr data = 0;
+  const Addr flag = 4;
+  Word seen = 0;
+  struct Writer {
+    Addr data, flag;
+    bool ru;
+    sim::Task operator()(Processor& p) const {
+      co_await p.compute(30);
+      if (ru) {
+        co_await p.write_global(data, 7);
+        co_await p.flush_buffer();
+        co_await p.write_global(flag, 1);
+        co_await p.flush_buffer();
+      } else {
+        co_await p.write(data, 7);
+        co_await p.write(flag, 1);
+      }
+    }
+  } writer{data, flag, ru};
+  struct Reader {
+    Addr data, flag;
+    bool ru;
+    Word& seen;
+    sim::Task operator()(Processor& p) const {
+      if (ru) {
+        co_await p.read_update(flag);
+        co_await p.read_update(data);
+      }
+      for (;;) {
+        const Word f = ru ? co_await p.read_update(flag) : co_await p.read(flag);
+        if (f == 1) break;
+        co_await p.wait_word_change(flag, f);
+      }
+      seen = ru ? co_await p.read_update(data) : co_await p.read(data);
+    }
+  } reader{data, flag, ru, seen};
+  // Background traffic on the middle nodes: without contention a two-actor
+  // run has almost no same-tick ties for the schedule seed to permute.
+  struct Noise {
+    sim::Task operator()(Processor& p) const {
+      for (int k = 0; k < 12; ++k) {
+        co_await p.fetch_add(512 + 8 * (p.id() % 3), 1);
+        co_await p.compute(1);
+      }
+    }
+  } noise;
+  m.spawn(writer(m.processor(0)));
+  m.spawn(reader(m.processor(cfg.n_nodes - 1)));
+  for (NodeId i = 1; i + 1 < cfg.n_nodes; ++i) m.spawn(noise(m.processor(i)));
+  const Tick t = test::run_all(m);
+  return {{t, m.stats().counter_value("net.messages")}, seen};
+}
+
+// ---------------------------------------------------------------------------
+// Lock counter: N nodes increment a shared counter under a hardware queued
+// lock; every increment must survive, under any schedule.
+// ---------------------------------------------------------------------------
+
+struct LockResult {
+  RunShape shape;
+  Word counter;
+};
+
+LockResult run_lock(const MachineConfig& cfg, int iters) {
+  Machine m(cfg);
+  const Addr lock = 16;
+  struct Prog {
+    Addr lock;
+    int iters;
+    sim::Task operator()(Processor& p) const {
+      for (int k = 0; k < iters; ++k) {
+        co_await p.write_lock(lock);
+        const Word v = co_await p.read(lock + 1);
+        co_await p.write(lock + 1, v + 1);
+        co_await p.unlock(lock);
+      }
+    }
+  } prog{lock, iters};
+  for (NodeId i = 0; i < cfg.n_nodes; ++i) m.spawn(prog(m.processor(i)));
+  const Tick t = test::run_all(m);
+  return {{t, m.stats().counter_value("net.messages")}, m.peek_memory(lock + 1)};
+}
+
+class Schedules : public ::testing::TestWithParam<const char*> {
+ protected:
+  MachineConfig base() const {
+    const bool paper = std::string_view(GetParam()) == "paper";
+    MachineConfig cfg = paper ? test::paper_config(4) : test::small_config(4);
+    if (!paper) {
+      // The WBI baseline still uses the hardware lock/barrier engines.
+      cfg.lock_impl = core::LockImpl::kCbl;
+      cfg.barrier_impl = core::BarrierImpl::kCbl;
+    }
+    return cfg;
+  }
+};
+
+TEST_P(Schedules, MessagePassingCorrectUnderEverySeed) {
+  // No diversity assertion here: this handoff is latency-bound, so the
+  // permuted orders happen to produce identical totals (the lock test
+  // below proves seeds do bite). The point is the per-seed oracle: the
+  // reader must never see stale data, whatever the interleaving.
+  for (std::uint64_t s = 0; s < kSeeds; ++s) {
+    const auto cfg = checked(base(), s);
+    const MpResult r = run_mp(cfg);
+    ASSERT_EQ(r.seen, 7u) << "stale data past the flag under schedule seed " << s;
+  }
+}
+
+TEST_P(Schedules, LockCounterExactUnderEverySeed) {
+  std::set<RunShape> shapes;
+  const int iters = 4;
+  for (std::uint64_t s = 0; s < kSeeds; ++s) {
+    const auto cfg = checked(base(), s);
+    const LockResult r = run_lock(cfg, iters);
+    ASSERT_EQ(r.counter, static_cast<Word>(cfg.n_nodes) * iters)
+        << "lost increment under schedule seed " << s;
+    shapes.insert(r.shape);
+  }
+  EXPECT_GE(shapes.size(), 2u) << "schedule seed had no observable effect";
+}
+
+TEST_P(Schedules, EverySeedIsDeterministic) {
+  for (std::uint64_t s : {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{17},
+                          std::uint64_t{63}}) {
+    const auto cfg = checked(base(), s);
+    const LockResult a = run_lock(cfg, 3);
+    const LockResult b = run_lock(cfg, 3);
+    EXPECT_EQ(a.shape.completion, b.shape.completion)
+        << "seed " << s << " did not replay bit-identically";
+    EXPECT_EQ(a.shape.messages, b.shape.messages)
+        << "seed " << s << " did not replay bit-identically";
+  }
+}
+
+TEST_P(Schedules, SeedZeroMatchesDefaultConfig) {
+  // schedule_seed = 0 must be indistinguishable from a config that never
+  // mentions schedules at all — the seed machine's exact behavior.
+  MachineConfig plain = base();
+  plain.network = core::NetworkKind::kOmega;
+  const LockResult a = run_lock(plain, 3);
+  const LockResult b = run_lock(checked(base(), 0), 3);
+  EXPECT_EQ(a.shape.completion, b.shape.completion);
+  EXPECT_EQ(a.shape.messages, b.shape.messages);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, Schedules, ::testing::Values("paper", "wbi"),
+                         [](const auto& param_info) { return std::string(param_info.param); });
+
+}  // namespace
+}  // namespace bcsim

@@ -20,8 +20,18 @@
 //   --grain G            references per task [100]
 //   --iters K            solver iterations / stencil sweeps [8]
 //   --seed S             RNG seed [1]
+//   --schedule-seed S    same-tick event tie-break (0 = FIFO order) [0]
+//   --check-invariants L off | quiesce | full (docs/TESTING.md) [off]
 //   --csv PATH           write all statistics as CSV
 //   --report             print the full statistics report
+//
+// Subcommand:
+//   bcsim check [--seeds N] [--first-seed S] [--nodes N]
+//
+// Sweeps N schedule seeds (starting at S) across a battery of litmus/fuzz
+// programs on both machines with full invariant checking and per-seed
+// determinism verification, and prints the smallest failing seed with a
+// replay line. Exit status 1 on any failure. See docs/TESTING.md.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -54,8 +64,14 @@ struct Options {
   std::uint32_t grain = 100;
   std::uint32_t iters = 8;
   std::uint64_t seed = 1;
+  std::uint64_t schedule_seed = 0;
+  std::string invariants = "off";
   std::string csv;
   bool report = false;
+  // `check` subcommand
+  bool check = false;
+  std::uint64_t seeds = 64;
+  std::uint64_t first_seed = 0;
 };
 
 [[noreturn]] void usage_error(const std::string& msg) {
@@ -70,7 +86,12 @@ Options parse_args(int argc, char** argv) {
     if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
     return argv[++i];
   };
-  for (int i = 1; i < argc; ++i) {
+  int first = 1;
+  if (argc > 1 && std::strcmp(argv[1], "check") == 0) {
+    o.check = true;
+    first = 2;
+  }
+  for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--nodes") o.nodes = static_cast<std::uint32_t>(std::stoul(need(i)));
     else if (a == "--machine") o.machine = need(i);
@@ -84,6 +105,10 @@ Options parse_args(int argc, char** argv) {
     else if (a == "--grain") o.grain = static_cast<std::uint32_t>(std::stoul(need(i)));
     else if (a == "--iters") o.iters = static_cast<std::uint32_t>(std::stoul(need(i)));
     else if (a == "--seed") o.seed = std::stoull(need(i));
+    else if (a == "--schedule-seed") o.schedule_seed = std::stoull(need(i));
+    else if (a == "--check-invariants") o.invariants = need(i);
+    else if (a == "--seeds") o.seeds = std::stoull(need(i));
+    else if (a == "--first-seed") o.first_seed = std::stoull(need(i));
     else if (a == "--csv") o.csv = need(i);
     else if (a == "--report") o.report = true;
     else usage_error("unknown flag '" + a + "'");
@@ -107,6 +132,13 @@ core::BarrierImpl parse_barrier(const std::string& s) {
   usage_error("unknown barrier '" + s + "'");
 }
 
+sim::InvariantLevel parse_invariants(const std::string& s) {
+  if (s == "off") return sim::InvariantLevel::kOff;
+  if (s == "quiesce") return sim::InvariantLevel::kQuiesce;
+  if (s == "full") return sim::InvariantLevel::kFull;
+  usage_error("unknown invariant level '" + s + "'");
+}
+
 core::NetworkKind parse_network(const std::string& s) {
   if (s == "omega") return core::NetworkKind::kOmega;
   if (s == "crossbar") return core::NetworkKind::kCrossbar;
@@ -121,6 +153,8 @@ core::MachineConfig build_config(const Options& o) {
   cfg.block_words = o.block_words;
   cfg.network = parse_network(o.network);
   cfg.seed = o.seed;
+  cfg.schedule_seed = o.schedule_seed;
+  cfg.invariants = parse_invariants(o.invariants);
   if (o.machine == "paper") {
     cfg.data_protocol = core::DataProtocol::kReadUpdate;
     cfg.consistency = o.consistency == "sc" ? core::Consistency::kSequential
@@ -142,6 +176,374 @@ core::MachineConfig build_config(const Options& o) {
   if (!o.barrier.empty()) cfg.barrier_impl = parse_barrier(o.barrier);
   cfg.validate();
   return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// `check` subcommand: schedule-seed sweep with full invariant checking.
+//
+// Each program in the battery runs under every schedule seed on both
+// machines with InvariantLevel::kFull (entry-local checks after every
+// directory transition + a whole-machine sweep at the end), verifies its
+// functional result, and runs twice to prove the seed is deterministic.
+// The sweep is ascending, so the first failure is the smallest seed.
+// ---------------------------------------------------------------------------
+
+struct CaseResult {
+  bool ok = true;
+  std::string detail;
+  Tick completion = 0;
+  std::uint64_t messages = 0;
+};
+
+constexpr Tick kCheckBudget = 100'000'000;
+
+/// Queued-lock counter: the classic mutual-exclusion workout (enqueue,
+/// handoff, drain, and re-lock races). The lock's own block carries the
+/// counter, so the data rides the grant messages.
+CaseResult case_lock_counter(const core::MachineConfig& cfg) {
+  core::Machine m(cfg);
+  const Addr lock = 16;
+  constexpr int kIters = 6;
+  struct Prog {
+    Addr lock;
+    sim::Task operator()(core::Processor& p) const {
+      for (int k = 0; k < kIters; ++k) {
+        co_await p.write_lock(lock);
+        const Word v = co_await p.read(lock + 1);
+        co_await p.write(lock + 1, v + 1);
+        co_await p.unlock(lock);
+      }
+    }
+  } prog{lock};
+  for (NodeId i = 0; i < cfg.n_nodes; ++i) m.spawn(prog(m.processor(i)));
+  CaseResult r;
+  r.completion = m.run(kCheckBudget);
+  r.messages = m.stats().counter_value("net.messages");
+  const Word want = static_cast<Word>(cfg.n_nodes) * kIters;
+  if (!m.all_done() || !m.quiescent()) {
+    r.ok = false;
+    r.detail = "programs stuck or protocol not quiescent";
+  } else if (m.peek_memory(lock + 1) != want) {
+    r.ok = false;
+    r.detail = "lost increment: counter " + std::to_string(m.peek_memory(lock + 1)) +
+               ", expected " + std::to_string(want);
+  }
+  return r;
+}
+
+/// Readers-writer lock: read-holder groups, mid-group reader drop-outs, and
+/// writer promotion — the orchestrated (directory-decided) release paths the
+/// write-lock counter never touches.
+CaseResult case_rw_lock(const core::MachineConfig& cfg) {
+  core::Machine m(cfg);
+  const Addr lock = 16;
+  constexpr int kIters = 4;
+  struct Writer {
+    Addr lock;
+    sim::Task operator()(core::Processor& p) const {
+      for (int k = 0; k < kIters; ++k) {
+        co_await p.write_lock(lock);
+        const Word v = co_await p.read(lock + 1);
+        co_await p.compute(2);
+        co_await p.write(lock + 1, v + 1);
+        co_await p.unlock(lock);
+      }
+    }
+  } writer{lock};
+  struct Reader {
+    Addr lock;
+    bool& torn;
+    sim::Task operator()(core::Processor& p) const {
+      for (int k = 0; k < kIters; ++k) {
+        co_await p.read_lock(lock);
+        const Word a = co_await p.read(lock + 1);
+        co_await p.compute(1 + (p.id() % 3));  // staggered: mid-group drop-outs
+        const Word b = co_await p.read(lock + 1);
+        if (a != b) torn = true;  // a writer slipped inside the read group
+        co_await p.unlock(lock);
+      }
+    }
+  };
+  bool torn = false;
+  Reader reader{lock, torn};
+  m.spawn(writer(m.processor(0)));
+  for (NodeId i = 1; i < cfg.n_nodes; ++i) m.spawn(reader(m.processor(i)));
+  CaseResult r;
+  r.completion = m.run(kCheckBudget);
+  r.messages = m.stats().counter_value("net.messages");
+  if (!m.all_done() || !m.quiescent()) {
+    r.ok = false;
+    r.detail = "programs stuck or protocol not quiescent";
+  } else if (torn) {
+    r.ok = false;
+    r.detail = "write observed inside a read-holder critical section";
+  } else if (m.peek_memory(lock + 1) != kIters) {
+    r.ok = false;
+    r.detail = "lost increment under readers: counter " +
+               std::to_string(m.peek_memory(lock + 1)) + ", expected " +
+               std::to_string(kIters);
+  }
+  return r;
+}
+
+/// Message passing under the CP-Synch discipline: data must never trail the
+/// flag past a flush. Uses the machine's native operations (subscriptions
+/// on read-update, coherent reads on WBI).
+CaseResult case_message_passing(const core::MachineConfig& cfg) {
+  core::Machine m(cfg);
+  const bool ru = cfg.data_protocol == core::DataProtocol::kReadUpdate;
+  const Addr data = 0;  // home 0
+  const Addr flag = 4;  // block 1 -> home 1
+  Word seen = 0;
+  struct Writer {
+    Addr data, flag;
+    bool ru;
+    sim::Task operator()(core::Processor& p) const {
+      co_await p.compute(50);
+      if (ru) {
+        co_await p.write_global(data, 42);
+        co_await p.flush_buffer();  // CP-Synch: data globally performed first
+        co_await p.write_global(flag, 1);
+        co_await p.flush_buffer();
+      } else {
+        co_await p.write(data, 42);  // SC write: performed before it returns
+        co_await p.write(flag, 1);
+      }
+    }
+  } writer{data, flag, ru};
+  struct Reader {
+    Addr data, flag;
+    bool ru;
+    Word& seen;
+    sim::Task operator()(core::Processor& p) const {
+      if (ru) {
+        co_await p.read_update(flag);
+        co_await p.read_update(data);
+      }
+      for (;;) {
+        const Word f = ru ? co_await p.read_update(flag) : co_await p.read(flag);
+        if (f == 1) break;
+        co_await p.wait_word_change(flag, f);
+      }
+      seen = ru ? co_await p.read_update(data) : co_await p.read(data);
+    }
+  } reader{data, flag, ru, seen};
+  m.spawn(writer(m.processor(0)));
+  m.spawn(reader(m.processor(cfg.n_nodes - 1)));
+  // A couple of bystander subscribers/sharers lengthen the delivery chains.
+  struct Bystander {
+    Addr data;
+    bool ru;
+    sim::Task operator()(core::Processor& p) const {
+      if (ru) {
+        co_await p.read_update(data);
+      } else {
+        co_await p.read(data);
+      }
+    }
+  } bystander{data, ru};
+  for (NodeId i = 1; i + 1 < cfg.n_nodes && i <= 2; ++i) {
+    m.spawn(bystander(m.processor(i)));
+  }
+  CaseResult r;
+  r.completion = m.run(kCheckBudget);
+  r.messages = m.stats().counter_value("net.messages");
+  if (!m.all_done() || !m.quiescent()) {
+    r.ok = false;
+    r.detail = "programs stuck or protocol not quiescent";
+  } else if (seen != 42) {
+    r.ok = false;
+    r.detail = "stale data (" + std::to_string(seen) + ") observed past the flag";
+  }
+  return r;
+}
+
+/// Hardware barrier separating two phases: every phase-1 write must be
+/// visible to every phase-2 reader.
+CaseResult case_barrier_phases(const core::MachineConfig& cfg) {
+  core::Machine m(cfg);
+  const Addr bar = 16;
+  const Addr base = 64;
+  const std::uint32_t n = cfg.n_nodes;
+  std::vector<Word> sums(n, 0);
+  struct Prog {
+    Addr bar, base;
+    std::uint32_t n;
+    std::vector<Word>& sums;
+    sim::Task operator()(core::Processor& p) const {
+      co_await p.write_global(base + p.id(), p.id() + 1);
+      co_await p.flush_buffer();  // barrier is CP-Synch
+      co_await p.barrier_arrive(bar, n);
+      Word s = 0;
+      for (NodeId j = 0; j < n; ++j) s += co_await p.read_global(base + j);
+      sums[p.id()] = s;
+    }
+  } prog{bar, base, n, sums};
+  for (NodeId i = 0; i < n; ++i) m.spawn(prog(m.processor(i)));
+  CaseResult r;
+  r.completion = m.run(kCheckBudget);
+  r.messages = m.stats().counter_value("net.messages");
+  const Word want = static_cast<Word>(n) * (n + 1) / 2;
+  if (!m.all_done() || !m.quiescent()) {
+    r.ok = false;
+    r.detail = "programs stuck or protocol not quiescent";
+    return r;
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    if (sums[i] != want) {
+      r.ok = false;
+      r.detail = "node " + std::to_string(i) + " summed " + std::to_string(sums[i]) +
+                 ", expected " + std::to_string(want) + " after the barrier";
+      return r;
+    }
+  }
+  return r;
+}
+
+/// Random well-formed program (hierarchical locks, global/local traffic,
+/// subscriptions, flushes) — must terminate and quiesce under every
+/// schedule with every invariant intact.
+CaseResult case_fuzz(const core::MachineConfig& cfg) {
+  core::Machine m(cfg);
+  const bool ru = cfg.data_protocol == core::DataProtocol::kReadUpdate;
+  struct Prog {
+    std::vector<Addr> locks;
+    int steps;
+    bool ru;
+    sim::Task operator()(core::Processor& p) const {
+      auto& rng = p.rng();
+      std::vector<std::size_t> held;
+      for (int s = 0; s < steps; ++s) {
+        const double dice = rng.next_double();
+        if (dice < 0.25) {
+          const std::size_t next = held.empty() ? rng.next_below(2) : held.back() + 1;
+          if (next < locks.size() && held.size() < 2) {
+            co_await p.write_lock(locks[next]);
+            held.push_back(next);
+          } else {
+            co_await p.compute(3);
+          }
+        } else if (dice < 0.45) {
+          if (!held.empty()) {
+            const Addr a = locks[held.back()] + 1 + rng.next_below(2);
+            const Word v = co_await p.read(a);
+            co_await p.write(a, v + 1);
+            co_await p.unlock(locks[held.back()]);
+            held.pop_back();
+          } else {
+            co_await p.compute(2);
+          }
+        } else if (dice < 0.65) {
+          const Addr a = 256 + rng.next_below(64);
+          if (ru) {
+            if (rng.chance(0.5)) {
+              co_await p.write_global(a, rng.next_u64());
+            } else {
+              co_await p.read_update(a);
+            }
+          } else {
+            if (rng.chance(0.5)) {
+              co_await p.write(a, rng.next_u64());
+            } else {
+              co_await p.read(a);
+            }
+          }
+        } else if (dice < 0.75) {
+          if (ru && rng.chance(0.5)) {
+            co_await p.reset_update(256 + rng.next_below(64));
+          } else {
+            co_await p.fetch_add(512 + rng.next_below(8), 1);
+          }
+        } else if (dice < 0.85) {
+          co_await p.flush_buffer();
+        } else {
+          co_await p.compute(1 + rng.next_below(15));
+        }
+      }
+      while (!held.empty()) {
+        co_await p.unlock(locks[held.back()]);
+        held.pop_back();
+      }
+      co_await p.flush_buffer();
+    }
+  } prog{{0, 16, 32}, 60, ru};
+  for (NodeId i = 0; i < cfg.n_nodes; ++i) m.spawn(prog(m.processor(i)));
+  CaseResult r;
+  r.completion = m.run(kCheckBudget);
+  r.messages = m.stats().counter_value("net.messages");
+  if (!m.all_done() || !m.quiescent()) {
+    r.ok = false;
+    r.detail = "programs stuck or protocol not quiescent";
+  }
+  return r;
+}
+
+int run_check(const Options& o) {
+  using CaseFn = CaseResult (*)(const core::MachineConfig&);
+  struct Entry {
+    const char* machine;
+    const char* program;
+    CaseFn fn;
+  };
+  // Both machines: the paper's (read-update + BC + CBL) and the WBI
+  // baseline (with CBL synchronization so the lock/barrier engines are
+  // exercised against the invalidate directory too).
+  const Entry battery[] = {
+      {"paper", "lock-counter", case_lock_counter},
+      {"paper", "rw-lock", case_rw_lock},
+      {"paper", "message-passing", case_message_passing},
+      {"paper", "barrier", case_barrier_phases},
+      {"paper", "fuzz", case_fuzz},
+      {"cbl-on-wbi", "lock-counter", case_lock_counter},
+      {"cbl-on-wbi", "rw-lock", case_rw_lock},
+      {"cbl-on-wbi", "message-passing", case_message_passing},
+      {"cbl-on-wbi", "barrier", case_barrier_phases},
+      {"cbl-on-wbi", "fuzz", case_fuzz},
+  };
+  const auto config_for = [&](const char* machine, std::uint64_t schedule_seed) {
+    Options mo = o;
+    mo.machine = machine;
+    mo.invariants = "full";
+    mo.schedule_seed = schedule_seed;
+    return build_config(mo);
+  };
+  if (o.seeds == 0) usage_error("check needs --seeds >= 1");
+  std::printf("check: %llu schedule seeds x %zu programs, nodes=%u, invariants=full\n",
+              static_cast<unsigned long long>(o.seeds), std::size(battery), o.nodes);
+  for (std::uint64_t s = o.first_seed; s < o.first_seed + o.seeds; ++s) {
+    for (const Entry& e : battery) {
+      const auto cfg = config_for(e.machine, s);
+      CaseResult r1;
+      try {
+        r1 = e.fn(cfg);
+        if (r1.ok) {
+          // Same seed, fresh machine: the schedule must replay exactly.
+          const CaseResult r2 = e.fn(cfg);
+          if (r2.completion != r1.completion || r2.messages != r1.messages) {
+            r1.ok = false;
+            r1.detail = "nondeterministic: reruns disagree on completion time or traffic";
+          }
+        }
+      } catch (const std::exception& ex) {
+        r1.ok = false;
+        r1.detail = ex.what();
+      }
+      if (!r1.ok) {
+        std::printf("check: FAILED\n");
+        std::printf("  smallest failing schedule seed: %llu\n",
+                    static_cast<unsigned long long>(s));
+        std::printf("  machine=%s program=%s\n  %s\n", e.machine, e.program,
+                    r1.detail.c_str());
+        std::printf("  replay: bcsim check --nodes %u --first-seed %llu --seeds 1\n",
+                    o.nodes, static_cast<unsigned long long>(s));
+        return 1;
+      }
+    }
+  }
+  std::printf("check: OK (seeds %llu..%llu, all invariants held, all results exact)\n",
+              static_cast<unsigned long long>(o.first_seed),
+              static_cast<unsigned long long>(o.first_seed + o.seeds - 1));
+  return 0;
 }
 
 int run(const Options& o) {
@@ -234,7 +636,8 @@ int run(const Options& o) {
 
 int main(int argc, char** argv) {
   try {
-    return run(parse_args(argc, argv));
+    const Options o = parse_args(argc, argv);
+    return o.check ? run_check(o) : run(o);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bcsim: %s\n", e.what());
     return 1;
