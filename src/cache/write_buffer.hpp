@@ -5,7 +5,15 @@
 // acknowledgment from the home memory arrives. The number of pending
 // entries implicitly implements the Adve-Hill pending-operation counter
 // (paper section 3, issue 2). FLUSH-BUFFER waiters are resumed when the
-// buffer drains — that is the CP-Synch gate.
+// writes *preceding* the flush have retired — that is the CP-Synch gate.
+//
+// Flush semantics (paper section 4.2): FLUSH-BUFFER only guarantees that
+// global writes issued *before* it are performed; writes issued after may
+// still be in flight. The gate is therefore a retire-count watermark
+// captured at registration, not an empty-buffer test: under a bounded
+// buffer, a slot freed by a retire immediately refills from a backlogged
+// writer, so `pending == 0` may never hold and an empty-buffer gate would
+// starve the flush (and with it the CP-Synch it protects) indefinitely.
 //
 // Capacity may be bounded (a real machine) or unbounded (the paper's
 // simulation assumption). When bounded and full, new writes block until a
@@ -15,7 +23,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <vector>
+#include <stdexcept>
 
 #include "sim/types.hpp"
 
@@ -27,40 +35,52 @@ class WriteBuffer {
   explicit WriteBuffer(std::size_t capacity = 0) : capacity_(capacity) {}
 
   [[nodiscard]] bool unbounded() const noexcept { return capacity_ == 0; }
-  [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
-  [[nodiscard]] bool empty() const noexcept { return pending_ == 0; }
-  [[nodiscard]] bool full() const noexcept {
-    return capacity_ != 0 && pending_ >= capacity_;
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return static_cast<std::size_t>(entered_ - retired_);
   }
+  [[nodiscard]] bool empty() const noexcept { return entered_ == retired_; }
+  [[nodiscard]] bool full() const noexcept {
+    return capacity_ != 0 && pending() >= capacity_;
+  }
+  /// Cumulative writes retired (monotonic; flush watermarks compare here).
+  [[nodiscard]] std::uint64_t retired() const noexcept { return retired_; }
 
   /// Registers a new in-flight global write; returns its transaction id.
   std::uint64_t enter() {
-    ++pending_;
+    ++entered_;
     return next_txn_++;
   }
 
-  /// Retires the entry matching an acknowledgment. Fires flush waiters when
-  /// the buffer drains and slot waiters when a slot frees.
+  /// Retires the entry matching an acknowledgment. Fires one slot waiter
+  /// when a slot frees, then every flush waiter whose watermark has been
+  /// reached. The slot waiter goes first: the write it enters is *after*
+  /// any already-registered flush, so it must not delay one.
   void retire() {
-    --pending_;
+    if (retired_ == entered_) {
+      throw std::logic_error("WriteBuffer::retire: ack without a matching entry");
+    }
+    ++retired_;
     if (!slot_waiters_.empty() && !full()) {
       auto fn = std::move(slot_waiters_.front());
       slot_waiters_.pop_front();
-      fn();
+      fn();  // typically enter()s — raises entered_, not existing watermarks
     }
-    if (pending_ == 0) {
-      auto waiters = std::move(flush_waiters_);
-      flush_waiters_.clear();
-      for (auto& w : waiters) w();
+    while (!flush_waiters_.empty() && flush_waiters_.front().watermark <= retired_) {
+      auto fn = std::move(flush_waiters_.front().fn);
+      flush_waiters_.pop_front();
+      fn();
     }
   }
 
-  /// Runs `fn` once the buffer is empty (immediately if already empty).
+  /// Runs `fn` once every write entered *before this call* has retired
+  /// (immediately if they already have). Writes entered afterwards do not
+  /// delay it — the paper's FLUSH-BUFFER orders a CP-Synch after the
+  /// writes that precede it, nothing more.
   void on_drained(std::function<void()> fn) {
-    if (pending_ == 0) {
+    if (retired_ >= entered_) {
       fn();
     } else {
-      flush_waiters_.push_back(std::move(fn));
+      flush_waiters_.push_back(FlushWaiter{entered_, std::move(fn)});
     }
   }
 
@@ -81,10 +101,19 @@ class WriteBuffer {
   }
 
  private:
+  /// A parked FLUSH-BUFFER: fires once `retired_` reaches the number of
+  /// writes entered before it registered. Watermarks are non-decreasing in
+  /// registration order, so the deque stays sorted by construction.
+  struct FlushWaiter {
+    std::uint64_t watermark;
+    std::function<void()> fn;
+  };
+
   std::size_t capacity_;
-  std::size_t pending_ = 0;
+  std::uint64_t entered_ = 0;
+  std::uint64_t retired_ = 0;
   std::uint64_t next_txn_ = 1;
-  std::vector<std::function<void()>> flush_waiters_;
+  std::deque<FlushWaiter> flush_waiters_;
   std::deque<std::function<void()>> slot_waiters_;
 };
 

@@ -48,6 +48,7 @@ void CacheController::on_message(const net::Message& m) {
       stats_.counter("cache.put_acks").add();
       break;
     case MsgType::kWriteGlobalAck: {
+      sim_.trace().wb_event(sim::TraceKind::kWbRetire, sim_.now(), node_, m.txn);
       wbuf_.retire();
       if (auto it = write_acks_.find(m.txn); it != write_acks_.end()) {
         Cb cb = std::move(it->second);
@@ -151,6 +152,13 @@ void CacheController::evict(cache::CacheLine& victim) {
     // Replacement cancels the read-update subscription (paper 4.1).
     send(make(MsgType::kResetUpdate, victim.block));
     stats_.counter("cache.ru_evict_unsubscribe").add();
+    sim_.trace().cache_state(sim_.now(), sim::CacheTraceOp::kUpdateBit, node_, victim.block,
+                             1, 0);
+  }
+  if (victim.msi != MsiState::kInvalid) {
+    sim_.trace().cache_state(sim_.now(), sim::CacheTraceOp::kMsi, node_, victim.block,
+                             static_cast<std::uint8_t>(victim.msi),
+                             static_cast<std::uint8_t>(MsiState::kInvalid));
   }
   victim.clear();
 }
@@ -312,6 +320,7 @@ void CacheController::op_write_global(Addr a, Word v, Cb cb) {
   }
   auto issue = [this, a, b, v, cb = std::move(cb)]() mutable {
     const std::uint64_t txn = wbuf_.enter();
+    sim_.trace().wb_event(sim::TraceKind::kWbEnter, sim_.now(), node_, txn);
     auto m = make(MsgType::kWriteGlobal, b);
     m.addr = a;
     m.value = v;
@@ -331,7 +340,11 @@ void CacheController::op_write_global(Addr a, Word v, Cb cb) {
 
 void CacheController::op_flush_buffer(Cb cb) {
   stats_.counter("cache.flush_buffer").add();
-  wbuf_.on_drained([this, cb = std::move(cb)]() mutable { complete(cb, 0, kHitLatency); });
+  sim_.trace().wb_event(sim::TraceKind::kWbFlushReq, sim_.now(), node_, wbuf_.pending());
+  wbuf_.on_drained([this, cb = std::move(cb)]() mutable {
+    sim_.trace().wb_event(sim::TraceKind::kWbFlushDone, sim_.now(), node_, wbuf_.pending());
+    complete(cb, 0, kHitLatency);
+  });
 }
 
 void CacheController::op_rmw(Addr a, net::RmwOp op, Word operand, Cb cb, Word operand2) {
@@ -351,6 +364,7 @@ void CacheController::op_rmw(Addr a, net::RmwOp op, Word operand, Cb cb, Word op
   m.aux = static_cast<std::uint8_t>(op);
   send(std::move(m));
   stats_.counter("cache.rmw").add();
+  sim_.trace().sync_op(sim_.now(), sim::SyncTraceOp::kRmw, node_, b, operand);
 }
 
 // ---------------------------------------------------------------------------
@@ -374,16 +388,23 @@ void CacheController::finish_wbi_txn() {
   Mshr done = std::move(mshr_);
   mshr_ = Mshr{};
   const std::uint32_t w = amap_.word_of(done.addr);
+  // Pre-install MSI state for the transition trace (upgrade vs fill).
+  const CacheLine* prior = cache_.find(done.block);
+  const auto old_msi = static_cast<std::uint8_t>(prior ? prior->msi : MsiState::kInvalid);
   switch (done.kind) {
     case MsgType::kGetS: {
       CacheLine& line = install_line(done.block, done.data);
       line.msi = MsiState::kShared;
+      sim_.trace().cache_state(sim_.now(), sim::CacheTraceOp::kMsi, node_, done.block,
+                               old_msi, static_cast<std::uint8_t>(MsiState::kShared));
       complete_timed(done.cb, line.data[w], done.issued_at, "lat.read_miss");
       break;
     }
     case MsgType::kGetX: {
       CacheLine& line = install_line(done.block, done.data);
       line.msi = MsiState::kModified;
+      sim_.trace().cache_state(sim_.now(), sim::CacheTraceOp::kMsi, node_, done.block,
+                               old_msi, static_cast<std::uint8_t>(MsiState::kModified));
       line.data[w] = done.wval;
       line.dirty_mask |= 1u << w;
       complete_timed(done.cb, done.wval, done.issued_at, "lat.write_miss");
@@ -422,6 +443,9 @@ void CacheController::finish_wbi_txn() {
 void CacheController::on_inv(const net::Message& m) {
   CacheLine* line = cache_.find(m.block);
   if (line) {
+    sim_.trace().cache_state(sim_.now(), sim::CacheTraceOp::kMsi, node_, m.block,
+                             static_cast<std::uint8_t>(line->msi),
+                             static_cast<std::uint8_t>(MsiState::kInvalid));
     line->clear();
     stats_.counter("cache.invalidated").add();
   }
@@ -469,9 +493,15 @@ void CacheController::perform_recall(cache::CacheLine* line, std::uint8_t aux) {
     // Downgrade to shared; memory now has the data.
     line->msi = MsiState::kShared;
     line->dirty_mask = 0;
+    sim_.trace().cache_state(sim_.now(), sim::CacheTraceOp::kMsi, node_, line->block,
+                             static_cast<std::uint8_t>(MsiState::kModified),
+                             static_cast<std::uint8_t>(MsiState::kShared));
   } else {
     const BlockId b = line->block;
     line->clear();
+    sim_.trace().cache_state(sim_.now(), sim::CacheTraceOp::kMsi, node_, b,
+                             static_cast<std::uint8_t>(MsiState::kModified),
+                             static_cast<std::uint8_t>(MsiState::kInvalid));
     fire_line_change(b);
   }
   stats_.counter("cache.recalled").add();

@@ -53,6 +53,11 @@ void CacheController::op_lock(Addr a, net::LockMode mode, Cb cb) {
 void CacheController::start_lock_request(BlockId b, net::LockMode mode, Cb cb) {
   CacheLine& line = lock_cache_.allocate(b);
   line.lock = (mode == LockMode::kRead) ? LockState::kWaitRead : LockState::kWaitWrite;
+  sim_.trace().sync_op(sim_.now(), sim::SyncTraceOp::kLockReq, node_, b,
+                       static_cast<std::uint64_t>(mode));
+  sim_.trace().cache_state(sim_.now(), sim::CacheTraceOp::kLock, node_, b,
+                           static_cast<std::uint8_t>(LockState::kNone),
+                           static_cast<std::uint8_t>(line.lock));
   lock_cbs_.emplace(b, LockPending{std::move(cb), sim_.now()});
   auto m = make(MsgType::kLockReq, b);
   m.aux = static_cast<std::uint8_t>(mode);
@@ -66,6 +71,7 @@ void CacheController::op_unlock(Addr a, Cb cb) {
     throw std::logic_error("CacheController: unlock of a lock not held");
   }
   stats_.counter("cache.unlock").add();
+  sim_.trace().sync_op(sim_.now(), sim::SyncTraceOp::kUnlock, node_, b);
   // "The unlocking processor is allowed to continue its computation
   // immediately, and does not have to wait for the unlock operation to be
   // performed globally."
@@ -220,9 +226,13 @@ void CacheController::on_lock_handoff(const net::Message& m) {
 
 void CacheController::became_holder(cache::CacheLine& line, bool chain_modified) {
   line.memory_stale = chain_modified;
+  const auto old_lock = static_cast<std::uint8_t>(line.lock);
   line.lock =
       (line.lock == LockState::kWaitWrite) ? LockState::kHeldWrite : LockState::kHeldRead;
   stats_.counter("cache.lock_granted").add();
+  sim_.trace().sync_op(sim_.now(), sim::SyncTraceOp::kLockGrant, node_, line.block);
+  sim_.trace().cache_state(sim_.now(), sim::CacheTraceOp::kLock, node_, line.block, old_lock,
+                           static_cast<std::uint8_t>(line.lock));
   cascade_share(line);
   auto it = lock_cbs_.find(line.block);
   assert(it != lock_cbs_.end());

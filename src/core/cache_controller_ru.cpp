@@ -43,6 +43,7 @@ void CacheController::op_reset_update(Addr a, Cb cb) {
     line->update_bit = false;
     line->prev = line->next = kNoNode;
     send(make(MsgType::kResetUpdate, b));
+    sim_.trace().cache_state(sim_.now(), sim::CacheTraceOp::kUpdateBit, node_, b, 1, 0);
   }
   // Completes locally whether or not a subscription existed (idempotent).
   complete(cb, 0, kHitLatency);
@@ -55,6 +56,8 @@ void CacheController::on_ru_data(const net::Message& m) {
   CacheLine& line = install_line(m.block, m.data);
   line.update_bit = true;
   line.ru_version = m.value;
+  sim_.trace().cache_state(sim_.now(), sim::CacheTraceOp::kUpdateBit, node_, m.block, 0, 1,
+                           m.value);
   // New subscribers join at the head of the list: prev = nil, next = the
   // previous head (the directory sends kRuLinkPrev to that node).
   line.prev = kNoNode;
@@ -75,6 +78,8 @@ void CacheController::on_ru_update(const net::Message& m) {
     for (std::uint32_t w = 0; w < config_.block_words; ++w) {
       if (!(line->dirty_mask & (1u << w))) line->data[w] = m.data.words[w];
     }
+    sim_.trace().cache_state(sim_.now(), sim::CacheTraceOp::kUpdateApplied, node_, m.block,
+                             1, 1, m.value);
     fire_line_change(m.block);
   }
   // Forward down the remaining chain regardless of local state (this node
@@ -114,6 +119,7 @@ void CacheController::forward_chain(const net::Message& m) {
 void CacheController::op_barrier(Addr a, std::uint32_t participants, Cb cb) {
   const BlockId b = amap_.block_of(a);
   stats_.counter("cache.barrier_arrive").add();
+  sim_.trace().sync_op(sim_.now(), sim::SyncTraceOp::kBarrierArrive, node_, b, participants);
   assert(!barrier_cbs_.contains(b));
   barrier_cbs_.emplace(b, std::move(cb));
   auto m = make(MsgType::kBarArrive, b);
@@ -125,6 +131,7 @@ void CacheController::op_barrier(Addr a, std::uint32_t participants, Cb cb) {
 void CacheController::on_bar_ack(const net::Message& m) {
   if (m.aux == 1) {
     // We were the last arriver: the barrier opened as we hit it.
+    sim_.trace().sync_op(sim_.now(), sim::SyncTraceOp::kBarrierRelease, node_, m.block, m.value);
     auto it = barrier_cbs_.find(m.block);
     assert(it != barrier_cbs_.end());
     Cb cb = std::move(it->second);
@@ -138,6 +145,7 @@ void CacheController::on_bar_release(const net::Message& m) {
   forward_chain(m);
   auto it = barrier_cbs_.find(m.block);
   if (it == barrier_cbs_.end()) return;  // release overtook a re-arrival race
+  sim_.trace().sync_op(sim_.now(), sim::SyncTraceOp::kBarrierRelease, node_, m.block, m.value);
   Cb cb = std::move(it->second);
   barrier_cbs_.erase(it);
   cb(Response{m.value});

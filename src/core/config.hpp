@@ -123,6 +123,13 @@ struct MachineConfig {
   /// entry after every directory transition.
   sim::InvariantLevel invariants = sim::InvariantLevel::kOff;
 
+  /// Event-trace recording (docs/OBSERVABILITY.md): when on, every message
+  /// send/delivery, cache-line and directory transition, sync op, and
+  /// write-buffer event lands in a ring of `trace_capacity` records, and
+  /// an invariant violation dumps the tail next to its diagnostic.
+  bool trace = false;
+  std::size_t trace_capacity = std::size_t{1} << 16;
+
   /// Throws std::invalid_argument on inconsistent settings.
   void validate() const {
     if (n_nodes == 0) throw std::invalid_argument("config: n_nodes must be >= 1");

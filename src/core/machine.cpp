@@ -1,5 +1,6 @@
 #include "core/machine.hpp"
 
+#include <iostream>
 #include <stdexcept>
 
 namespace bcsim::core {
@@ -10,6 +11,7 @@ Machine::Machine(const MachineConfig& config)
   // Before anything can schedule: the tie-break policy must cover every
   // event of the simulation for a seed to name one schedule exactly.
   sim_.set_schedule_seed(config_.schedule_seed);
+  if (config_.trace) sim_.trace().enable(config_.trace_capacity);
   switch (config_.network) {
     case NetworkKind::kOmega:
       network_ = std::make_unique<net::OmegaNetwork>(sim_, stats_, config_.n_nodes,
@@ -53,29 +55,62 @@ Machine::Machine(const MachineConfig& config)
 }
 
 Tick Machine::run(Tick max_cycles) {
-  while (started_ < programs_.size()) {
-    sim::Task& t = programs_[started_++];
-    sim_.schedule(0, [&t] { t.start(); });
-  }
-  const auto result = sim_.run(max_cycles);
-  for (const auto& t : programs_) t.rethrow_if_failed();
-  if (result == sim::RunResult::kBudget) {
-    throw std::runtime_error("Machine::run: cycle budget exhausted (livelock or budget too small)");
-  }
-  if (config_.invariants != sim::InvariantLevel::kOff && quiescent()) {
-    checker_.check_quiescent("end-of-run");
+  try {
+    while (started_ < programs_.size()) {
+      sim::Task& t = programs_[started_++];
+      sim_.schedule(0, [&t] { t.start(); });
+    }
+    const auto result = sim_.run(max_cycles);
+    for (const auto& t : programs_) t.rethrow_if_failed();
+    if (result == sim::RunResult::kBudget) {
+      throw std::runtime_error(
+          "Machine::run: cycle budget exhausted (livelock or budget too small)");
+    }
+    if (config_.invariants != sim::InvariantLevel::kOff && quiescent()) {
+      checker_.check_quiescent("end-of-run");
+    }
+  } catch (const sim::InvariantViolation&) {
+    // Entry-local (kFull) violations surface out of sim_.run() via the
+    // transition hook; quiescent ones out of check_quiescent. Either way,
+    // print the interleaving that led here before the diagnostic unwinds.
+    dump_trace_on_violation();
+    throw;
   }
   return sim_.now();
 }
 
 Tick Machine::run_until(Tick until) {
-  while (started_ < programs_.size()) {
-    sim::Task& t = programs_[started_++];
-    sim_.schedule(0, [&t] { t.start(); });
+  try {
+    while (started_ < programs_.size()) {
+      sim::Task& t = programs_[started_++];
+      sim_.schedule(0, [&t] { t.start(); });
+    }
+    sim_.run_until(until);
+    for (const auto& t : programs_) t.rethrow_if_failed();
+  } catch (const sim::InvariantViolation&) {
+    dump_trace_on_violation();
+    throw;
   }
-  sim_.run_until(until);
-  for (const auto& t : programs_) t.rethrow_if_failed();
   return sim_.now();
+}
+
+void Machine::check_invariants(const char* where) {
+  try {
+    checker_.check_quiescent(where);
+  } catch (const sim::InvariantViolation&) {
+    dump_trace_on_violation();
+    throw;
+  }
+}
+
+void Machine::dump_trace(std::ostream& os, std::size_t n) const {
+  sim_.trace().dump_tail(os, n);
+}
+
+void Machine::dump_trace_on_violation() const {
+  if (!sim_.trace().enabled()) return;
+  std::cerr << "--- trace (newest " << kViolationDumpTail << " records) ---\n";
+  dump_trace(std::cerr, kViolationDumpTail);
 }
 
 bool Machine::all_done() const {

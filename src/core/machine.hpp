@@ -4,6 +4,7 @@
 #pragma once
 
 #include <deque>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -103,11 +104,24 @@ class Machine {
 
   /// Runs the full quiescent-state invariant sweep now, regardless of the
   /// configured level; throws sim::InvariantViolation on the first broken
-  /// invariant. Only meaningful when quiescent() (the distributed queue
-  /// mirrors lag the directory while messages are in flight).
-  void check_invariants(const char* where = "on-demand") { checker_.check_quiescent(where); }
+  /// invariant (after dumping the trace tail when tracing is on). Only
+  /// meaningful when quiescent() (the distributed queue mirrors lag the
+  /// directory while messages are in flight).
+  void check_invariants(const char* where = "on-demand");
+
+  /// Writes the newest `n` trace records to `os` (no-op text when tracing
+  /// was never enabled). The machine calls this itself on an invariant
+  /// violation; exposed for tests and tools.
+  void dump_trace(std::ostream& os, std::size_t n = kViolationDumpTail) const;
+
+  /// Records dumped alongside an invariant-violation diagnostic.
+  static constexpr std::size_t kViolationDumpTail = 64;
 
  private:
+  /// Prints the trace tail to stderr before an InvariantViolation
+  /// propagates, so the interleaving that led to the violation survives.
+  void dump_trace_on_violation() const;
+
   MachineConfig config_;
   sim::Simulator sim_;
   sim::StatsRegistry stats_;

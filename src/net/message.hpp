@@ -85,6 +85,10 @@ enum class MsgType : std::uint8_t {
   kBarRelease,     ///< barrier released, propagated down subscriber chain
 };
 
+/// Number of MsgType values (kBarRelease is last); sized per-type tables
+/// (the network's counter handles, trace name maps) index by MsgType.
+inline constexpr std::size_t kMsgTypeCount = static_cast<std::size_t>(MsgType::kBarRelease) + 1;
+
 [[nodiscard]] constexpr std::string_view to_string(MsgType t) noexcept {
   switch (t) {
     case MsgType::kGetS: return "GetS";

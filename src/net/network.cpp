@@ -10,8 +10,24 @@ namespace bcsim::net {
 
 Network::Network(sim::Simulator& simulator, sim::StatsRegistry& stats, std::uint32_t n_nodes)
     : simulator_(simulator), stats_(stats), n_nodes_(n_nodes),
-      cache_sinks_(n_nodes), memory_sinks_(n_nodes) {
+      cache_sinks_(n_nodes), memory_sinks_(n_nodes),
+      c_messages_(&stats.counter("net.messages")),
+      c_sync_(&stats.counter("net.sync_messages")),
+      c_data_(&stats.counter("net.data_messages")),
+      c_local_(&stats.counter("net.local")),
+      c_remote_(&stats.counter("net.remote")),
+      c_flits_(&stats.counter("net.flits")),
+      c_contention_(&stats.counter("net.contention_cycles")),
+      h_latency_(&stats.histogram("net.latency")) {
   if (n_nodes == 0) throw std::invalid_argument("Network: need at least one node");
+}
+
+sim::Counter& Network::register_type_counter(MsgType t) {
+  std::string name("net.msg.");
+  name += to_string(t);
+  sim::Counter& c = stats_.counter(name);
+  c_by_type_[static_cast<std::size_t>(t)] = &c;
+  return c;
 }
 
 void Network::attach(NodeId node, Unit unit, DeliverFn fn) {
@@ -29,19 +45,25 @@ Tick Network::flits_of(const Message& m) const noexcept {
 }
 
 void Network::send(Message msg) {
-  stats_.counter("net.messages").add();
-  stats_.counter(is_sync_message(msg.type) ? "net.sync_messages" : "net.data_messages").add();
-  stats_.counter(std::string("net.msg.") += to_string(msg.type)).add();
+  c_messages_->add();
+  (is_sync_message(msg.type) ? c_sync_ : c_data_)->add();
+  if (sim::Counter* c = c_by_type_[static_cast<std::size_t>(msg.type)]) {
+    c->add();
+  } else {
+    register_type_counter(msg.type).add();
+  }
   const Tick now = simulator_.now();
+  simulator_.trace().msg(sim::TraceKind::kMsgSend, now, static_cast<std::uint8_t>(msg.type),
+                         msg.src, msg.dst, msg.unit == Unit::kMemory, msg.block, msg.txn);
   Tick arrive;
   if (msg.src == msg.dst) {
-    stats_.counter("net.local").add();
+    c_local_->add();
     arrive = now + kLocalLatency;
   } else {
-    stats_.counter("net.remote").add();
-    stats_.counter("net.flits").add(flits_of(msg));
+    c_remote_->add();
+    c_flits_->add(flits_of(msg));
     arrive = route(msg, now);
-    stats_.histogram("net.latency").record(arrive - now);
+    h_latency_->record(arrive - now);
   }
   // Delivery rides the message's ordering channel: a schedule seed may
   // permute deliveries racing on different links, but messages on one
@@ -62,6 +84,9 @@ void Network::deliver(const Message& m) {
   const auto& sinks = (m.unit == Unit::kCache) ? cache_sinks_ : memory_sinks_;
   const auto& fn = sinks.at(m.dst);
   if (!fn) throw std::logic_error("Network: message to unattached endpoint");
+  simulator_.trace().msg(sim::TraceKind::kMsgDeliver, simulator_.now(),
+                         static_cast<std::uint8_t>(m.type), m.src, m.dst,
+                         m.unit == Unit::kMemory, m.block, m.txn);
   BCSIM_LOG(kTrace, "net", simulator_.now(),
             to_string(m.type) << " " << m.src << "->" << m.dst
                               << (m.unit == Unit::kMemory ? "(mem)" : "(cache)") << " blk="
@@ -97,7 +122,7 @@ Tick OmegaNetwork::route(const Message& m, Tick now) {
     free_at = t + flits;   // port is occupied while the message streams through
     t += switch_delay_;    // header advances to the next stage
   }
-  if (waited > 0) stats_.counter("net.contention_cycles").add(waited);
+  if (waited > 0) count_contention(waited);
   // Tail flit arrives flits-1 cycles after the header.
   return t + (flits - 1);
 }
@@ -139,7 +164,7 @@ Tick MeshNetwork::route(const Message& m, Tick now) {
     traverse(dir);
     y = (dy > y) ? y + 1 : y - 1;
   }
-  if (waited > 0) stats_.counter("net.contention_cycles").add(waited);
+  if (waited > 0) count_contention(waited);
   return t + (flits - 1);
 }
 
@@ -152,7 +177,7 @@ Tick CrossbarNetwork::route(const Message& m, Tick now) {
   Tick t = now;
   Tick& free_at = port_free_[m.dst];
   if (free_at > t) {
-    stats_.counter("net.contention_cycles").add(free_at - t);
+    count_contention(free_at - t);
     t = free_at;
   }
   free_at = t + flits;

@@ -8,6 +8,7 @@
 // models the paper's distributed-memory configuration.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -62,6 +63,10 @@ class Network {
   /// this.
   virtual Tick route(const Message& m, Tick now) = 0;
 
+  /// Charges queuing delay to the contention counter (cached handle; this
+  /// sits inside every route() implementation's hot loop).
+  void count_contention(Tick waited) noexcept { c_contention_->add(waited); }
+
   sim::Simulator& simulator_;
   sim::StatsRegistry& stats_;
   Tick block_words_ = 4;  ///< for flit accounting of block payloads
@@ -73,10 +78,27 @@ class Network {
 
  private:
   void deliver(const Message& m);
+  /// Cold path of the per-type counters: registers "net.msg.<type>" on the
+  /// type's first send, so the stats report lists exactly the types a run
+  /// actually produced (as it did when the name was built per message).
+  sim::Counter& register_type_counter(MsgType t);
 
   std::uint32_t n_nodes_;
   std::vector<DeliverFn> cache_sinks_;
   std::vector<DeliverFn> memory_sinks_;
+
+  // send() counter/histogram handles, resolved once at construction: the
+  // registry lookup (and the "net.msg." + to_string string build) used to
+  // run per message on the simulator's hottest path.
+  sim::Counter* c_messages_;
+  sim::Counter* c_sync_;
+  sim::Counter* c_data_;
+  sim::Counter* c_local_;
+  sim::Counter* c_remote_;
+  sim::Counter* c_flits_;
+  sim::Counter* c_contention_;
+  sim::Histogram* h_latency_;
+  std::array<sim::Counter*, kMsgTypeCount> c_by_type_{};  ///< lazily filled
 };
 
 /// Ideal network: fixed latency, no contention. Used by unit tests (exact

@@ -32,9 +32,39 @@ bool DirectoryController::quiescent() const {
   return true;
 }
 
+namespace {
+/// Compact fingerprint of a directory entry's non-MSI bookkeeping, so the
+/// trace records RU-list / lock-chain / version changes that leave the
+/// DirState itself untouched (e.g. WriteGlobal, a lock enqueue).
+std::uint64_t entry_fingerprint(const mem::DirectoryEntry* e) {
+  if (e == nullptr) return 0;
+  return (e->ru_version << 32) |
+         (static_cast<std::uint64_t>(e->lock_chain.size() & 0xffff) << 16) |
+         static_cast<std::uint64_t>(e->ru_list.size() & 0xffff);
+}
+}  // namespace
+
 void DirectoryController::on_message(const net::Message& m) {
   assert(amap_.home_of(m.block) == node_ && "message routed to wrong home");
-  handle(m);
+  sim::TraceRecorder& tr = sim_.trace();
+  if (tr.enabled()) {
+    // Snapshot scalars, not pointers: handle() may create entries and
+    // rehash the map.
+    const mem::DirectoryEntry* before = peek(m.block);
+    const auto old_state = static_cast<std::uint8_t>(before ? before->state
+                                                            : mem::DirState::kUncached);
+    const std::uint64_t old_fp = entry_fingerprint(before);
+    handle(m);
+    const mem::DirectoryEntry* after = peek(m.block);
+    const auto new_state = static_cast<std::uint8_t>(after ? after->state
+                                                            : mem::DirState::kUncached);
+    const std::uint64_t new_fp = entry_fingerprint(after);
+    if (old_state != new_state || old_fp != new_fp) {
+      tr.dir_state(sim_.now(), node_, m.block, old_state, new_state, new_fp);
+    }
+  } else {
+    handle(m);
+  }
   if (hook_) hook_(m.block);
 }
 

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "sim/event_queue.hpp"
+#include "sim/trace_recorder.hpp"
 #include "sim/types.hpp"
 
 namespace bcsim::sim {
@@ -90,12 +91,18 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
   [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
 
+  /// Event-trace recorder. Owned here because every component already
+  /// holds a Simulator&; disabled (and free) unless enabled explicitly.
+  [[nodiscard]] TraceRecorder& trace() noexcept { return trace_; }
+  [[nodiscard]] const TraceRecorder& trace() const noexcept { return trace_; }
+
  private:
   static Tick saturating_add(Tick a, Tick b) noexcept {
     return (b > kNever - a) ? kNever : a + b;
   }
 
   EventQueue queue_;
+  TraceRecorder trace_;
   Tick now_ = 0;
   bool stop_requested_ = false;
   std::uint64_t events_processed_ = 0;

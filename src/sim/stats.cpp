@@ -25,10 +25,15 @@ double Histogram::quantile(double q) const noexcept {
     seen += static_cast<double>(buckets_[b]);
     if (seen >= target) {
       // Midpoint of bucket b: samples s with bit_width(s)==b lie in
-      // [2^(b-1), 2^b - 1]; bucket 0 holds only the value 0.
+      // [2^(b-1), 2^b - 1]; bucket 0 holds only the value 0. The bucket
+      // bounds are clamped to the observed [min_, max_] so the estimate
+      // never leaves the range of recorded samples (bucket b is occupied,
+      // so min_ <= 2^b - 1 and max_ >= 2^(b-1): lo <= hi survives).
       if (b == 0) return 0.0;
-      const double lo = static_cast<double>(1ULL << (b - 1));
-      const double hi = (b >= 64) ? static_cast<double>(max_) : static_cast<double>((1ULL << b) - 1);
+      double lo = static_cast<double>(1ULL << (b - 1));
+      double hi = (b >= 64) ? static_cast<double>(max_) : static_cast<double>((1ULL << b) - 1);
+      lo = std::max(lo, static_cast<double>(min_));
+      hi = std::min(hi, static_cast<double>(max_));
       return (lo + hi) / 2.0;
     }
   }

@@ -25,13 +25,23 @@
 //   --csv PATH           write all statistics as CSV
 //   --report             print the full statistics report
 //
-// Subcommand:
+// Subcommands:
 //   bcsim check [--seeds N] [--first-seed S] [--nodes N]
 //
 // Sweeps N schedule seeds (starting at S) across a battery of litmus/fuzz
 // programs on both machines with full invariant checking and per-seed
 // determinism verification, and prints the smallest failing seed with a
-// replay line. Exit status 1 on any failure. See docs/TESTING.md.
+// replay line (then replays it with event tracing on, so the interleaving
+// that broke is printed alongside the diagnostic). Exit status 1 on any
+// failure. See docs/TESTING.md.
+//
+//   bcsim trace [run flags] [--trace-out PATH] [--trace-csv PATH]
+//               [--trace-capacity N]
+//
+// Runs the chosen workload with the event-trace recorder on and writes the
+// retained records as Chrome trace-event JSON (open in chrome://tracing or
+// Perfetto) [trace.json], plus an optional flat CSV. See
+// docs/OBSERVABILITY.md.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -72,6 +82,11 @@ struct Options {
   bool check = false;
   std::uint64_t seeds = 64;
   std::uint64_t first_seed = 0;
+  // `trace` subcommand
+  bool trace = false;
+  std::string trace_out = "trace.json";
+  std::string trace_csv;
+  std::size_t trace_capacity = std::size_t{1} << 16;
 };
 
 [[noreturn]] void usage_error(const std::string& msg) {
@@ -89,6 +104,9 @@ Options parse_args(int argc, char** argv) {
   int first = 1;
   if (argc > 1 && std::strcmp(argv[1], "check") == 0) {
     o.check = true;
+    first = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "trace") == 0) {
+    o.trace = true;
     first = 2;
   }
   for (int i = first; i < argc; ++i) {
@@ -111,6 +129,9 @@ Options parse_args(int argc, char** argv) {
     else if (a == "--first-seed") o.first_seed = std::stoull(need(i));
     else if (a == "--csv") o.csv = need(i);
     else if (a == "--report") o.report = true;
+    else if (a == "--trace-out") o.trace_out = need(i);
+    else if (a == "--trace-csv") o.trace_csv = need(i);
+    else if (a == "--trace-capacity") o.trace_capacity = std::stoull(need(i));
     else usage_error("unknown flag '" + a + "'");
   }
   return o;
@@ -155,6 +176,8 @@ core::MachineConfig build_config(const Options& o) {
   cfg.seed = o.seed;
   cfg.schedule_seed = o.schedule_seed;
   cfg.invariants = parse_invariants(o.invariants);
+  cfg.trace = o.trace;
+  cfg.trace_capacity = o.trace_capacity;
   if (o.machine == "paper") {
     cfg.data_protocol = core::DataProtocol::kReadUpdate;
     cfg.consistency = o.consistency == "sc" ? core::Consistency::kSequential
@@ -536,6 +559,20 @@ int run_check(const Options& o) {
                     r1.detail.c_str());
         std::printf("  replay: bcsim check --nodes %u --first-seed %llu --seeds 1\n",
                     o.nodes, static_cast<unsigned long long>(s));
+        // Replay the failing case with the event-trace recorder on: when
+        // the failure is an invariant violation, the machine prints the
+        // tail of the interleaving that led there next to the diagnostic
+        // (docs/OBSERVABILITY.md). Functional failures replay silently.
+        std::printf("  replaying with event tracing enabled...\n");
+        std::fflush(stdout);
+        auto traced = cfg;
+        traced.trace = true;
+        traced.trace_capacity = o.trace_capacity;
+        try {
+          (void)e.fn(traced);
+        } catch (const std::exception&) {
+          // The diagnostic and trace tail already went to stderr.
+        }
         return 1;
       }
     }
@@ -616,6 +653,27 @@ int run(const Options& o) {
   if (fft) {
     std::printf("fft:        bit-exact vs host: %s\n",
                 fft->actual(m) == fft->expected() ? "yes" : "NO");
+  }
+  if (o.trace) {
+    const auto& tr = m.simulator().trace();
+    std::ofstream out(o.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "bcsim: cannot write %s\n", o.trace_out.c_str());
+      return 1;
+    }
+    tr.write_chrome_json(out);
+    std::printf("trace:      %zu records retained (%llu recorded, %llu dropped) -> %s\n",
+                tr.size(), static_cast<unsigned long long>(tr.recorded()),
+                static_cast<unsigned long long>(tr.dropped()), o.trace_out.c_str());
+    if (!o.trace_csv.empty()) {
+      std::ofstream csv(o.trace_csv);
+      if (!csv) {
+        std::fprintf(stderr, "bcsim: cannot write %s\n", o.trace_csv.c_str());
+        return 1;
+      }
+      tr.write_csv(csv);
+      std::printf("trace csv:  %s\n", o.trace_csv.c_str());
+    }
   }
   if (o.report) {
     m.stats().report(std::cout);
