@@ -32,6 +32,24 @@ void BM_EventQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePushPop);
 
+void BM_EventQueueSameTickBurst(benchmark::State& state) {
+  // Many events on one tick: the bucketed queue's best case (one tick-heap
+  // operation for the whole burst) and the old heap's worst (log n sifts of
+  // fat items through a same-priority plateau).
+  sim::EventQueue q;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) q.push(7, [] {});
+    while (!q.empty()) {
+      auto [t, fn] = q.pop();
+      sink += t;
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_EventQueueSameTickBurst);
+
 void BM_RngNextBelow(benchmark::State& state) {
   sim::Rng rng(7);
   std::uint64_t sink = 0;

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Compare two `bcsim bench` JSON files and fail on regressions.
+
+Usage:
+  bench_compare.py BASELINE.json NEW.json [--tolerance 0.15] [--exact-only]
+
+Two kinds of checks (schema in docs/BENCHMARKS.md):
+
+* Exact metrics ("exact": true) and the per-flavor stats digests are
+  machine-independent simulation outputs — completion ticks, message
+  counts, FNV digests of every statistic. They must match bit-for-bit;
+  any difference means the simulation's behavior changed and the
+  baseline must be regenerated deliberately (with the change explained
+  in the commit that refreshes it).
+
+* Timing metrics ("exact": false, ns/op, ticks/s, msgs/s, wall ms) are
+  machine-dependent. They are compared direction-aware against
+  --tolerance (default 15%): a "less is better" metric fails when
+  new > baseline * (1 + tol); a "more is better" metric fails when
+  new < baseline * (1 - tol). --exact-only skips them entirely, which
+  is what the deterministic ctest gate uses (timing on a loaded CI
+  runner is noise; the digests are not).
+
+Exit status: 0 when every check passes, 1 on any regression or
+missing metric, 2 on bad invocation/unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if data.get("schema") != 1 or "metrics" not in data:
+        print(f"bench_compare: {path} is not a schema-1 bcsim bench file",
+              file=sys.stderr)
+        sys.exit(2)
+    return data
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed relative slowdown for timing metrics "
+                         "(default: 0.15)")
+    ap.add_argument("--exact-only", action="store_true",
+                    help="check only machine-independent metrics and digests")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    new = load(args.new)
+
+    failures = []
+    rows = []
+
+    for name, bm in sorted(base["metrics"].items()):
+        nm = new["metrics"].get(name)
+        if nm is None:
+            failures.append(f"metric '{name}' missing from {args.new}")
+            continue
+        exact = bool(bm.get("exact"))
+        bv, nv = bm["value"], nm["value"]
+        unit = bm.get("unit", "")
+        if exact:
+            ok = bv == nv
+            note = "exact" if ok else "EXACT MISMATCH"
+            if not ok:
+                failures.append(
+                    f"exact metric '{name}': baseline {bv:g} != new {nv:g} "
+                    f"(simulation behavior changed; see docs/BENCHMARKS.md)")
+        elif args.exact_only:
+            continue
+        else:
+            more_is_better = bm.get("direction") == "more"
+            if bv == 0:
+                ok, rel = True, 0.0
+            elif more_is_better:
+                rel = (bv - nv) / bv  # positive = got slower
+                ok = nv >= bv * (1.0 - args.tolerance)
+            else:
+                rel = (nv - bv) / bv
+                ok = nv <= bv * (1.0 + args.tolerance)
+            note = f"{rel:+.1%}" + ("" if ok else f" REGRESSION (> {args.tolerance:.0%})")
+            if not ok:
+                failures.append(f"timing metric '{name}': baseline {bv:.4g} "
+                                f"-> new {nv:.4g} {unit} ({rel:+.1%})")
+        rows.append((name, bv, nv, unit, note))
+
+    base_digests = base.get("digests", {})
+    new_digests = new.get("digests", {})
+    for name, bd in sorted(base_digests.items()):
+        nd = new_digests.get(name)
+        if nd is None:
+            failures.append(f"digest '{name}' missing from {args.new}")
+        elif nd != bd:
+            failures.append(f"digest '{name}': baseline {bd} != new {nd} "
+                            f"(simulation behavior changed)")
+        rows.append((f"digest.{name}", bd, nd, "",
+                     "exact" if nd == bd else "EXACT MISMATCH"))
+
+    w = max((len(r[0]) for r in rows), default=10)
+    print(f"{'metric':<{w}}  {'baseline':>14}  {'new':>14}  note")
+    for name, bv, nv, unit, note in rows:
+        fmt = lambda v: v if isinstance(v, str) else f"{v:.6g}"
+        print(f"{name:<{w}}  {fmt(bv):>14}  {fmt(nv):>14}  {note}")
+
+    if failures:
+        print(f"\nbench_compare: {len(failures)} failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nbench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,6 +92,13 @@ class Machine {
   /// stable, caches drained). Meaningful after run() returns.
   [[nodiscard]] bool quiescent() const;
 
+  /// Fingerprint of every statistic (sim::StatsRegistry::digest). Two runs
+  /// of one configuration must agree bit-for-bit; the bench harness records
+  /// it per end-to-end run and CI compares it against the committed
+  /// baseline, so any change to simulation behavior — intended or not — is
+  /// caught (docs/BENCHMARKS.md).
+  [[nodiscard]] std::uint64_t stats_digest() const noexcept { return stats_.digest(); }
+
   /// Convenience: direct word access to backing memory (tests/debugging;
   /// bypasses all timing).
   [[nodiscard]] Word peek_memory(Addr a) const;

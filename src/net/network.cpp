@@ -68,15 +68,22 @@ void Network::send(Message msg) {
   // Delivery rides the message's ordering channel: a schedule seed may
   // permute deliveries racing on different links, but messages on one
   // point-to-point link stay FIFO — the hardware guarantee the protocols
-  // are built on.
+  // are built on. The in-flight message lives in the pool; the closure
+  // carries only a pointer, keeping it inside EventFn's inline storage.
   const std::uint64_t channel = channel_of(msg);
-  simulator_.schedule_at_channel(arrive, channel, [this, m = std::move(msg)] { deliver(m); });
+  Message* pm = pool_.acquire(std::move(msg));
+  simulator_.schedule_at_channel(arrive, channel, [this, pm] {
+    deliver(*pm);
+    pool_.release(pm);
+  });
 }
 
 void Network::send_at(Tick at, Message msg) {
   const std::uint64_t channel = channel_of(msg);
-  simulator_.schedule_at_channel(at, channel, [this, m = std::move(msg)]() mutable {
-    send(std::move(m));
+  Message* pm = pool_.acquire(std::move(msg));
+  simulator_.schedule_at_channel(at, channel, [this, pm] {
+    send(std::move(*pm));
+    pool_.release(pm);
   });
 }
 

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "net/message.hpp"
@@ -22,6 +23,41 @@ namespace bcsim::net {
 
 /// Handler invoked at the destination when a message arrives.
 using DeliverFn = std::function<void(const Message&)>;
+
+/// Free-list pool of in-flight Messages. A Message is ~350 bytes (block
+/// payload + chain vector), so carrying one inside every delivery closure
+/// used to mean a heap allocation per send and a free per delivery. The
+/// pool recycles the objects instead: the closure captures a bare pointer
+/// (which also keeps it inside EventFn's inline buffer) and the pool's
+/// steady state allocates nothing.
+class MessagePool {
+ public:
+  /// Moves `m` into a pooled slot and returns its stable address.
+  Message* acquire(Message&& m) {
+    if (free_.empty()) {
+      storage_.push_back(std::make_unique<Message>(std::move(m)));
+      free_.reserve(storage_.size());  // keeps release() allocation-free
+      return storage_.back().get();
+    }
+    Message* p = free_.back();
+    free_.pop_back();
+    *p = std::move(m);
+    return p;
+  }
+
+  /// Returns a message to the pool. `p` must come from acquire().
+  void release(Message* p) noexcept {
+    p->chain.clear();
+    p->data.count = 0;
+    free_.push_back(p);  // cannot allocate: capacity covers every slot
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return storage_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Message>> storage_;
+  std::vector<Message*> free_;
+};
 
 class Network {
  public:
@@ -84,6 +120,7 @@ class Network {
   sim::Counter& register_type_counter(MsgType t);
 
   std::uint32_t n_nodes_;
+  MessagePool pool_;  ///< in-flight messages (send/deliver hot path)
   std::vector<DeliverFn> cache_sinks_;
   std::vector<DeliverFn> memory_sinks_;
 

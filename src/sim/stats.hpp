@@ -81,6 +81,13 @@ class StatsRegistry {
   /// (counters: value; histograms: count/sum/min/max/mean/p50/p99).
   void write_csv(std::ostream& os) const;
 
+  /// Order-independent FNV-1a fingerprint of every counter value and every
+  /// histogram's exact moments (count/sum/min/max; derived doubles are
+  /// excluded). Two runs of the same configuration must produce the same
+  /// digest on any host — the bench harness and the determinism tests gate
+  /// on it (docs/BENCHMARKS.md).
+  [[nodiscard]] std::uint64_t digest() const noexcept;
+
   void reset_all() noexcept;
 
  private:

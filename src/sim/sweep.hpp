@@ -13,8 +13,15 @@
 
 namespace bcsim::sim {
 
-/// Number of worker threads to use for sweeps (hardware concurrency,
-/// clamped to [1, 16]; overridable via BCSIM_SWEEP_THREADS).
+/// The one clamp applied to sweep parallelism, from any source: each worker
+/// runs a whole single-threaded Machine, so beyond this fan-out the memory
+/// footprint dwarfs any scheduling win.
+inline constexpr std::size_t kMaxSweepThreads = 64;
+
+/// Number of worker threads to use for sweeps: BCSIM_SWEEP_THREADS if set
+/// to a valid integer >= 1 (invalid values are ignored with a one-time
+/// warning), else hardware concurrency; either way clamped to
+/// [1, kMaxSweepThreads].
 [[nodiscard]] std::size_t sweep_threads() noexcept;
 
 /// Runs fn(i) for i in [0, n) across worker threads; results are returned

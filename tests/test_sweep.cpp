@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 #include "sim/sweep.hpp"
 
@@ -40,7 +42,59 @@ TEST(Sweep, PropagatesExceptions) {
 
 TEST(Sweep, ThreadCountIsSane) {
   EXPECT_GE(sweep_threads(), 1u);
-  EXPECT_LE(sweep_threads(), 64u);
+  EXPECT_LE(sweep_threads(), kMaxSweepThreads);
+}
+
+/// Sets BCSIM_SWEEP_THREADS for one scope; restores the old value after.
+class ScopedSweepEnv {
+ public:
+  explicit ScopedSweepEnv(const char* value) {
+    const char* old = std::getenv("BCSIM_SWEEP_THREADS");
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    ::setenv("BCSIM_SWEEP_THREADS", value, 1);
+  }
+  ~ScopedSweepEnv() {
+    if (had_) {
+      ::setenv("BCSIM_SWEEP_THREADS", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("BCSIM_SWEEP_THREADS");
+    }
+  }
+  ScopedSweepEnv(const ScopedSweepEnv&) = delete;
+  ScopedSweepEnv& operator=(const ScopedSweepEnv&) = delete;
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(Sweep, EnvOverrideIsHonored) {
+  ScopedSweepEnv env("8");
+  EXPECT_EQ(sweep_threads(), 8u);
+}
+
+TEST(Sweep, EnvOverrideOfOneIsHonored) {
+  ScopedSweepEnv env("1");
+  EXPECT_EQ(sweep_threads(), 1u);
+}
+
+TEST(Sweep, EnvOverrideIsClampedToMax) {
+  ScopedSweepEnv env("1000");
+  EXPECT_EQ(sweep_threads(), kMaxSweepThreads);
+}
+
+TEST(Sweep, GarbageEnvFallsBackToHardwareDefault) {
+  const std::size_t hw = [] {
+    ScopedSweepEnv none("");  // empty is invalid -> hardware default
+    return sweep_threads();
+  }();
+  // "1e3" used to parse as 1 (strtol stops at 'e'); it must be rejected
+  // whole, like any other trailing-garbage value.
+  for (const char* bad : {"1e3", "4x", "x", "0", "-2", " 8"}) {
+    ScopedSweepEnv env(bad);
+    EXPECT_EQ(sweep_threads(), hw) << "BCSIM_SWEEP_THREADS='" << bad << "'";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,28 @@
+// `bcsim bench` — the perf-regression harness (docs/BENCHMARKS.md).
+//
+// Runs the simulator-substrate microbenchmarks plus one end-to-end
+// work-queue run per machine flavor (wbi / cbl / paper) and writes a
+// machine-readable BENCH_<rev>.json: ns/op per micro, simulated-ticks/sec
+// and messages/sec per flavor, peak RSS, and a stats digest per run that
+// pins the simulation output bit-for-bit. scripts/bench_compare.py diffs
+// two such files; CI gates on the committed bench/baseline.json.
+#pragma once
+
+#include <string>
+
+namespace bcsim::tool {
+
+struct BenchOptions {
+  /// Smaller configurations and shorter timing windows — the CI subset.
+  bool smoke = false;
+  /// Output path; empty means "BENCH_<revision>.json".
+  std::string out;
+  /// Label recorded in the JSON (--rev flag, else $BCSIM_REV, else "local").
+  std::string revision = "local";
+};
+
+/// Runs the harness and writes the JSON. Returns a process exit code
+/// (nonzero when a run is nondeterministic or the file cannot be written).
+int run_bench(const BenchOptions& o);
+
+}  // namespace bcsim::tool

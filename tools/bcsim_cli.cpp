@@ -42,13 +42,24 @@
 // retained records as Chrome trace-event JSON (open in chrome://tracing or
 // Perfetto) [trace.json], plus an optional flat CSV. See
 // docs/OBSERVABILITY.md.
+//
+//   bcsim bench [--smoke] [--out PATH] [--rev LABEL]
+//
+// Runs the perf-regression harness: substrate microbenchmarks plus one
+// end-to-end run per machine flavor, written as BENCH_<rev>.json for
+// scripts/bench_compare.py. See docs/BENCHMARKS.md.
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
 
+#include "bcsim_bench.hpp"
 #include "core/machine.hpp"
 #include "workload/fft_phases.hpp"
 #include "workload/grid_stencil.hpp"
@@ -95,6 +106,29 @@ struct Options {
   std::exit(2);
 }
 
+/// Strict decimal parse for flag values: rejects empty strings, signs,
+/// non-digits, trailing garbage ("4x"), and out-of-range values with a
+/// usage error (exit 2) instead of letting std::stoul throw an uncaught
+/// std::invalid_argument out of main.
+std::uint64_t parse_u64_flag(const std::string& flag, const std::string& s) {
+  const bool looks_numeric = !s.empty() && std::isdigit(static_cast<unsigned char>(s[0])) != 0;
+  if (looks_numeric) {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (*end == '\0' && errno != ERANGE) return v;
+  }
+  usage_error(flag + " expects a non-negative integer, got '" + s + "'");
+}
+
+std::uint32_t parse_u32_flag(const std::string& flag, const std::string& s) {
+  const std::uint64_t v = parse_u64_flag(flag, s);
+  if (v > std::numeric_limits<std::uint32_t>::max()) {
+    usage_error(flag + " value " + s + " is out of range");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
 Options parse_args(int argc, char** argv) {
   Options o;
   auto need = [&](int& i) -> std::string {
@@ -111,28 +145,45 @@ Options parse_args(int argc, char** argv) {
   }
   for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--nodes") o.nodes = static_cast<std::uint32_t>(std::stoul(need(i)));
+    if (a == "--nodes") o.nodes = parse_u32_flag(a, need(i));
     else if (a == "--machine") o.machine = need(i);
     else if (a == "--consistency") o.consistency = need(i);
     else if (a == "--lock") o.lock = need(i);
     else if (a == "--barrier") o.barrier = need(i);
     else if (a == "--network") o.network = need(i);
-    else if (a == "--block-words") o.block_words = static_cast<std::uint32_t>(std::stoul(need(i)));
+    else if (a == "--block-words") o.block_words = parse_u32_flag(a, need(i));
     else if (a == "--workload") o.workload = need(i);
-    else if (a == "--tasks") o.tasks = static_cast<std::uint32_t>(std::stoul(need(i)));
-    else if (a == "--grain") o.grain = static_cast<std::uint32_t>(std::stoul(need(i)));
-    else if (a == "--iters") o.iters = static_cast<std::uint32_t>(std::stoul(need(i)));
-    else if (a == "--seed") o.seed = std::stoull(need(i));
-    else if (a == "--schedule-seed") o.schedule_seed = std::stoull(need(i));
+    else if (a == "--tasks") o.tasks = parse_u32_flag(a, need(i));
+    else if (a == "--grain") o.grain = parse_u32_flag(a, need(i));
+    else if (a == "--iters") o.iters = parse_u32_flag(a, need(i));
+    else if (a == "--seed") o.seed = parse_u64_flag(a, need(i));
+    else if (a == "--schedule-seed") o.schedule_seed = parse_u64_flag(a, need(i));
     else if (a == "--check-invariants") o.invariants = need(i);
-    else if (a == "--seeds") o.seeds = std::stoull(need(i));
-    else if (a == "--first-seed") o.first_seed = std::stoull(need(i));
+    else if (a == "--seeds") o.seeds = parse_u64_flag(a, need(i));
+    else if (a == "--first-seed") o.first_seed = parse_u64_flag(a, need(i));
     else if (a == "--csv") o.csv = need(i);
     else if (a == "--report") o.report = true;
     else if (a == "--trace-out") o.trace_out = need(i);
     else if (a == "--trace-csv") o.trace_csv = need(i);
-    else if (a == "--trace-capacity") o.trace_capacity = std::stoull(need(i));
+    else if (a == "--trace-capacity") o.trace_capacity = parse_u64_flag(a, need(i));
     else usage_error("unknown flag '" + a + "'");
+  }
+  return o;
+}
+
+tool::BenchOptions parse_bench_args(int argc, char** argv) {
+  tool::BenchOptions o;
+  if (const char* rev = std::getenv("BCSIM_REV")) o.revision = rev;
+  auto need = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") o.smoke = true;
+    else if (a == "--out") o.out = need(i);
+    else if (a == "--rev") o.revision = need(i);
+    else usage_error("unknown bench flag '" + a + "'");
   }
   return o;
 }
@@ -694,6 +745,9 @@ int run(const Options& o) {
 
 int main(int argc, char** argv) {
   try {
+    if (argc > 1 && std::strcmp(argv[1], "bench") == 0) {
+      return tool::run_bench(parse_bench_args(argc, argv));
+    }
     const Options o = parse_args(argc, argv);
     return o.check ? run_check(o) : run(o);
   } catch (const std::exception& e) {

@@ -1,0 +1,9 @@
+# Runs ${CLI} with ${ARGS} (space-separated) and fails unless the process
+# exits with status ${EXPECT}. Used to pin the CLI's usage-error contract:
+# malformed flag values must exit 2, not crash (1) or succeed (0).
+separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
+execute_process(COMMAND ${CLI} ${arg_list} RESULT_VARIABLE rc
+                OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rc EQUAL ${EXPECT})
+  message(FATAL_ERROR "expected exit ${EXPECT}, got '${rc}'\nstderr: ${err}")
+endif()
