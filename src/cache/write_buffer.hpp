@@ -31,8 +31,20 @@ namespace bcsim::cache {
 
 class WriteBuffer {
  public:
+  /// Deliberate misbehaviors for oracle validation (core::WbFault mirrors
+  /// this at the machine-config level; docs/TESTING.md).
+  enum class Fault : std::uint8_t {
+    kNone,
+    kEagerFlush,  ///< on_drained fires immediately, gate removed
+    kEmptyGate,   ///< on_drained waits for a fully empty buffer (pre-fix bug)
+  };
+
   /// `capacity` 0 means unbounded (paper Table 4 assumption).
   explicit WriteBuffer(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Test-only: makes the flush gate misbehave (see Fault). Takes effect
+  /// for flushes registered after the call.
+  void inject_fault(Fault f) noexcept { fault_ = f; }
 
   [[nodiscard]] bool unbounded() const noexcept { return capacity_ == 0; }
   [[nodiscard]] std::size_t pending() const noexcept {
@@ -65,7 +77,7 @@ class WriteBuffer {
       slot_waiters_.pop_front();
       fn();  // typically enter()s — raises entered_, not existing watermarks
     }
-    while (!flush_waiters_.empty() && flush_waiters_.front().watermark <= retired_) {
+    while (!flush_waiters_.empty() && waiter_ready(flush_waiters_.front())) {
       auto fn = std::move(flush_waiters_.front().fn);
       flush_waiters_.pop_front();
       fn();
@@ -77,10 +89,11 @@ class WriteBuffer {
   /// delay it — the paper's FLUSH-BUFFER orders a CP-Synch after the
   /// writes that precede it, nothing more.
   void on_drained(std::function<void()> fn) {
-    if (retired_ >= entered_) {
+    if (fault_ == Fault::kEagerFlush || retired_ >= entered_) {
       fn();
     } else {
-      flush_waiters_.push_back(FlushWaiter{entered_, std::move(fn)});
+      const std::uint64_t mark = fault_ == Fault::kEmptyGate ? kEmptyMark : entered_;
+      flush_waiters_.push_back(FlushWaiter{mark, std::move(fn)});
     }
   }
 
@@ -104,12 +117,20 @@ class WriteBuffer {
   /// A parked FLUSH-BUFFER: fires once `retired_` reaches the number of
   /// writes entered before it registered. Watermarks are non-decreasing in
   /// registration order, so the deque stays sorted by construction.
+  /// kEmptyMark (the injected empty-gate bug) only fires on a fully
+  /// drained buffer.
   struct FlushWaiter {
     std::uint64_t watermark;
     std::function<void()> fn;
   };
+  static constexpr std::uint64_t kEmptyMark = ~std::uint64_t{0};
+
+  [[nodiscard]] bool waiter_ready(const FlushWaiter& w) const noexcept {
+    return w.watermark == kEmptyMark ? retired_ == entered_ : w.watermark <= retired_;
+  }
 
   std::size_t capacity_;
+  Fault fault_ = Fault::kNone;
   std::uint64_t entered_ = 0;
   std::uint64_t retired_ = 0;
   std::uint64_t next_txn_ = 1;

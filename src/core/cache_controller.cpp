@@ -22,7 +22,18 @@ CacheController::CacheController(NodeId node, sim::Simulator& simulator, net::Ne
     : node_(node), sim_(simulator), net_(network), amap_(amap), config_(config), stats_(stats),
       cache_(config.cache_blocks, config.cache_assoc),
       lock_cache_(config.lock_cache_entries),
-      wbuf_(config.write_buffer_entries) {}
+      wbuf_(config.write_buffer_entries) {
+  switch (config.wb_fault) {
+    case WbFault::kNone:
+      break;
+    case WbFault::kEagerFlush:
+      wbuf_.inject_fault(cache::WriteBuffer::Fault::kEagerFlush);
+      break;
+    case WbFault::kEmptyGate:
+      wbuf_.inject_fault(cache::WriteBuffer::Fault::kEmptyGate);
+      break;
+  }
+}
 
 bool CacheController::quiescent() const noexcept {
   return !mshr_.active && wbuf_.empty() && write_acks_.empty() && lock_cbs_.empty() &&

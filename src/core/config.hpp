@@ -47,6 +47,18 @@ enum class BarrierImpl : std::uint8_t {
 
 enum class NetworkKind : std::uint8_t { kOmega, kCrossbar, kMesh, kIdeal };
 
+/// Deliberate write-buffer faults for oracle/invariant validation
+/// (docs/TESTING.md, "Differential testing"). Production configs use
+/// kNone; the others exist so tests can prove the differential oracle
+/// catches consistency bugs, not to model any real hardware.
+enum class WbFault : std::uint8_t {
+  kNone,
+  kEagerFlush,  ///< FLUSH-BUFFER completes immediately (no CP-Synch gate):
+                ///< global writes may still be in flight past a flush
+  kEmptyGate,   ///< the pre-watermark bug: a flush waits for the buffer to
+                ///< be fully empty, starving under bounded-capacity refill
+};
+
 [[nodiscard]] constexpr std::string_view to_string(DataProtocol p) noexcept {
   return p == DataProtocol::kWbi ? "wbi" : "read-update";
 }
@@ -122,6 +134,11 @@ struct MachineConfig {
   /// (docs/TESTING.md lists the invariants). kFull re-checks the home
   /// entry after every directory transition.
   sim::InvariantLevel invariants = sim::InvariantLevel::kOff;
+
+  /// Test-only fault injection into every node's write buffer (see
+  /// WbFault). The differential-oracle tests use this to verify that a
+  /// reordering bug in the flush gate is caught end-to-end.
+  WbFault wb_fault = WbFault::kNone;
 
   /// Event-trace recording (docs/OBSERVABILITY.md): when on, every message
   /// send/delivery, cache-line and directory transition, sync op, and

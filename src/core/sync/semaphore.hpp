@@ -59,6 +59,11 @@ class CountingSemaphore {
     co_await mutex_->release(p);
   }
 
+  /// Address of the count word (tests and the differential oracle peek the
+  /// final count; Word is unsigned, so an underflow past P's `c > 0` guard
+  /// would show up as a huge value here).
+  [[nodiscard]] Addr count_addr() const noexcept { return count_; }
+
  private:
   sim::SimFuture<Word> read(core::Processor& p) {
     return p.config().data_protocol == core::DataProtocol::kReadUpdate

@@ -7,8 +7,10 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 #include "proto/directory_controller.hpp"
+#include "sim/invariants.hpp"
 
 namespace bcsim::proto {
 
@@ -22,6 +24,11 @@ constexpr std::uint8_t kAuxHandoffDone = 1;
 constexpr std::uint8_t kAuxWriteback = 0;
 constexpr std::uint8_t kAuxDrop = 1;
 constexpr std::uint8_t kFwdShareBit = 2;
+
+bool chain_contains(const mem::DirectoryEntry& e, NodeId node) {
+  return std::any_of(e.lock_chain.begin(), e.lock_chain.end(),
+                     [node](const mem::LockChainNode& n) { return n.node == node; });
+}
 }  // namespace
 
 void DirectoryController::on_lock_req(const net::Message& m) {
@@ -101,9 +108,11 @@ void DirectoryController::on_unlock_notify(const net::Message& m) {
   if (m.aux == kAuxHandoffDone) {
     // The releasing cache already handed the lock (and data) to m.who;
     // this is bookkeeping. Promote the next holder group to match the
-    // grant/cascade messages in flight.
+    // grant/cascade messages in flight, then replay any unlock query the
+    // new front sent before this bookkeeping arrived.
     promote_waiters(e);
     memory_.occupy(sim_.now(), config_.t_directory);
+    drain_blocked(m.block);
     return;
   }
 
@@ -146,9 +155,35 @@ void DirectoryController::on_unlock_query(const net::Message& m) {
     reply_after(config_.t_directory, std::move(out));
     return;
   }
+  // The releaser is in the chain but not at the front: its predecessors'
+  // handoff bookkeeping (kAuxHandoffDone) is still in flight. That race is
+  // real on networks with distance-dependent paths (a short critical
+  // section next to the home beats a far-away HandoffDone), so park the
+  // query until the bookkeeping drains and replay it then.
+  if (!e.lock_chain.empty() && e.lock_chain.front().node != m.src &&
+      chain_contains(e, m.src)) {
+    e.blocked.push_back(m);
+    stats_.counter("dir.unlock_query_deferred").add();
+    return;
+  }
+  // A querying releaser that is not in the chain at all is a protocol bug —
+  // throw (not assert) so the differential oracle can report it as a
+  // divergence with the trace tail instead of aborting the process.
+  if (e.lock_chain.empty() || e.lock_chain.front().node != m.src) {
+    throw sim::InvariantViolation(
+        "invariant violation [cbl-unlock-query] at tick " +
+            std::to_string(sim_.now()) + ", block " + std::to_string(m.block) +
+            ", node " + std::to_string(m.src) +
+            ": unlock query from a node that is not in the chain (chain " +
+            (e.lock_chain.empty()
+                 ? std::string("empty")
+                 : "front " + std::to_string(e.lock_chain.front().node) + ", size " +
+                       std::to_string(e.lock_chain.size())) +
+            ")",
+        m.block, m.src, sim_.now());
+  }
   // A successor announce (kLockFwd) is in flight to the releaser; it must
   // drain: link the successor when the announce arrives, then hand off.
-  assert(!e.lock_chain.empty() && e.lock_chain.front().node == m.src);
   auto out = reply_to(m, MsgType::kUnlockWaitSucc);
   reply_after(config_.t_directory, std::move(out));
 }

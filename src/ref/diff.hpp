@@ -1,0 +1,82 @@
+// Differential-oracle harness: machine flavors, result comparison, and
+// first-divergence reporting (docs/TESTING.md, "Differential testing").
+//
+// One comparison = one DRF program (drf_program.hpp) executed on the
+// golden SC reference (ref_machine.hpp) and on a full machine flavor
+// (machine_runner.hpp) under one schedule seed. A clean comparison means
+// the machine's observable behavior is sequentially consistent for that
+// properly-synchronized program — the paper's section 3 claim, checked
+// end-to-end. `bcsim diff` sweeps a (program_seed x schedule_seed) grid
+// over all flavors; tests drive diff_one directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "ref/drf_program.hpp"
+#include "ref/machine_runner.hpp"
+#include "ref/ref_machine.hpp"
+
+namespace bcsim::ref {
+
+/// The three machine flavors the oracle checks against the reference.
+enum class Flavor : std::uint8_t {
+  kWbi,  ///< write-back invalidate + SC + TTS locks + central barrier
+  kRu,   ///< the paper machine: read-update + BC + CBL lock/barrier
+  kCbl,  ///< CBL synchronization on the WBI data protocol
+};
+
+[[nodiscard]] const char* to_string(Flavor f) noexcept;
+
+/// Parses "wbi" / "ru" / "cbl".
+[[nodiscard]] std::optional<Flavor> parse_flavor(std::string_view s) noexcept;
+
+/// Machine configuration for a flavor (omega network, quiescent-level
+/// invariants; the oracle is the whole-execution check, the invariant
+/// sweep is a cheap backstop).
+[[nodiscard]] core::MachineConfig flavor_config(Flavor f, std::uint32_t n_nodes,
+                                                std::uint64_t schedule_seed);
+
+/// The first point where a machine execution departed from the reference.
+struct Divergence {
+  enum class Kind : std::uint8_t {
+    kNone,
+    kMachineError,  ///< stuck, budget exhausted, or invariant violation
+    kObsRead,       ///< an observed read returned a non-SC value
+    kObsStream,     ///< observed-read streams have different lengths
+    kFinalVar,      ///< final memory mismatch
+    kFinalSem,      ///< final semaphore count mismatch
+  };
+
+  Kind kind = Kind::kNone;
+  std::uint32_t node = 0;
+  std::uint32_t op_index = 0;
+  std::uint32_t var = 0;
+  Addr addr = 0;
+  BlockId block = 0;  ///< addr / block_words — names the memory block
+  Tick tick = 0;      ///< machine cycle of the diverging read / completion
+  Word machine_value = 0;
+  Word ref_value = 0;
+  std::string detail;  ///< ready-to-print one-line diagnosis
+
+  [[nodiscard]] bool found() const noexcept { return kind != Kind::kNone; }
+};
+
+/// Compares a machine run against the reference; returns the earliest
+/// divergence (observed reads are ordered by machine tick across nodes).
+[[nodiscard]] Divergence compare_runs(const DrfProgram& prog, const RefResult& ref,
+                                      const MachineRunResult& mach,
+                                      std::uint32_t block_words);
+
+/// Generates nothing; runs `prog` on `flavor` under `schedule_seed` and
+/// compares against `ref`. `base` lets callers inject faults or tracing;
+/// when omitted, flavor_config defaults are used.
+[[nodiscard]] Divergence diff_one(const DrfProgram& prog, const RefResult& ref,
+                                  Flavor flavor, std::uint64_t schedule_seed,
+                                  const core::MachineConfig* base = nullptr,
+                                  Tick budget = 100'000'000);
+
+}  // namespace bcsim::ref

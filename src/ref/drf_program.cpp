@@ -1,0 +1,160 @@
+#include "ref/drf_program.hpp"
+
+#include <stdexcept>
+
+#include "sim/random.hpp"
+
+namespace bcsim::ref {
+
+const char* to_string(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::kCompute: return "COMPUTE";
+    case OpKind::kWrite: return "WRITE";
+    case OpKind::kRead: return "READ";
+    case OpKind::kLock: return "LOCK";
+    case OpKind::kUnlock: return "UNLOCK";
+    case OpKind::kCsAdd: return "CS-ADD";
+    case OpKind::kBarrier: return "BARRIER";
+    case OpKind::kSemP: return "SEM-P";
+    case OpKind::kSemV: return "SEM-V";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Stable hash for write values: distinct, nonzero, platform-independent.
+Word value_of(std::uint64_t seed, std::uint32_t node, std::uint32_t phase,
+              std::uint32_t slot, std::uint32_t salt) {
+  sim::SplitMix64 sm(seed ^ (std::uint64_t{node} << 40) ^ (std::uint64_t{phase} << 24) ^
+                     (std::uint64_t{slot} << 8) ^ salt);
+  const Word v = sm.next();
+  return v == 0 ? 1 : v;
+}
+
+}  // namespace
+
+DrfProgram generate_drf_program(std::uint64_t program_seed, const DrfGenConfig& gen) {
+  if (gen.n_nodes == 0 || gen.phases == 0 || gen.region_slots == 0) {
+    throw std::invalid_argument("drf generator: n_nodes, phases, region_slots must be >= 1");
+  }
+  if (gen.n_locks == 0 || gen.counters_per_lock == 0) {
+    throw std::invalid_argument("drf generator: need at least one lock with one counter");
+  }
+
+  DrfProgram p;
+  p.program_seed = program_seed;
+  p.gen = gen;
+  p.n_locks = gen.n_locks;
+  p.n_counters = gen.n_locks * gen.counters_per_lock;
+  p.counter_lock.resize(p.n_counters);
+  for (std::uint32_t c = 0; c < p.n_counters; ++c) {
+    p.counter_lock[c] = c / gen.counters_per_lock;
+  }
+
+  const std::uint32_t region_per_node = gen.phases * gen.region_slots;
+  const std::uint32_t handoff_per_node = gen.phases * gen.handoff_slots;
+  const std::uint32_t region_base = p.n_counters;
+  const std::uint32_t handoff_base = region_base + gen.n_nodes * region_per_node;
+  p.n_vars = handoff_base + gen.n_nodes * handoff_per_node;
+
+  const auto region_var = [&](std::uint32_t node, std::uint32_t phase, std::uint32_t slot) {
+    return region_base + node * region_per_node + phase * gen.region_slots + slot;
+  };
+  const auto handoff_var = [&](std::uint32_t node, std::uint32_t phase, std::uint32_t slot) {
+    return handoff_base + node * handoff_per_node + phase * gen.handoff_slots + slot;
+  };
+
+  // Ring semaphores start at 0 (pure handoff); the throttle is counting.
+  p.n_sems = gen.n_nodes + 1;
+  const std::uint32_t throttle = gen.n_nodes;
+  p.sem_initial.assign(p.n_sems, 0);
+  p.sem_initial[throttle] = gen.throttle_initial;
+
+  p.code.resize(gen.n_nodes);
+  for (std::uint32_t n = 0; n < gen.n_nodes; ++n) {
+    sim::Rng rng(sim::SplitMix64(program_seed ^ (0x9e1u + n)).next());
+    auto& code = p.code[n];
+    const std::uint32_t prev = (n + gen.n_nodes - 1) % gen.n_nodes;
+
+    for (std::uint32_t ph = 0; ph < gen.phases; ++ph) {
+      // 1. jitter so nodes drift apart inside a phase
+      code.push_back({OpKind::kCompute, 1 + static_cast<std::uint32_t>(rng.next_below(8)),
+                      0, false});
+
+      // 2. own-region writes: each slot is written exactly once, in its
+      //    own phase, which is what makes later-phase reads deterministic.
+      for (std::uint32_t j = 0; j < gen.region_slots; ++j) {
+        code.push_back({OpKind::kWrite, region_var(n, ph, j),
+                        value_of(program_seed, n, ph, j, 0xA), false});
+      }
+
+      // 3. handoff produce: write the slots, then signal downstream.
+      for (std::uint32_t j = 0; j < gen.handoff_slots; ++j) {
+        code.push_back({OpKind::kWrite, handoff_var(n, ph, j),
+                        value_of(program_seed, n, ph, j, 0xB), false});
+      }
+      code.push_back({OpKind::kSemV, n, 0, false});
+
+      // 4. lock-protected counter updates (never nested; any lock order
+      //    is safe). Intermediate counter values depend on acquisition
+      //    order, so CS reads are not observed — the schedule-independent
+      //    fact is the final sum, checked via final memory.
+      const auto l = static_cast<std::uint32_t>(rng.next_below(gen.n_locks));
+      code.push_back({OpKind::kLock, l, 0, false});
+      const std::uint32_t updates = 1 + static_cast<std::uint32_t>(
+                                            rng.next_below(gen.counters_per_lock));
+      for (std::uint32_t u = 0; u < updates; ++u) {
+        const std::uint32_t c = l * gen.counters_per_lock +
+                                static_cast<std::uint32_t>(
+                                    rng.next_below(gen.counters_per_lock));
+        code.push_back({OpKind::kCsAdd, c, 1 + rng.next_below(5), false});
+      }
+      code.push_back({OpKind::kUnlock, l, 0, false});
+
+      // 5. counting-semaphore throttle (P may block when the pool is dry).
+      if (rng.chance(0.5)) {
+        code.push_back({OpKind::kSemP, throttle, 0, false});
+        code.push_back({OpKind::kCompute,
+                        1 + static_cast<std::uint32_t>(rng.next_below(4)), 0, false});
+        code.push_back({OpKind::kSemV, throttle, 0, false});
+      }
+
+      // 6. handoff consume: the P on the upstream ring semaphore is the
+      //    happens-before edge that makes these same-phase reads
+      //    deterministic.
+      code.push_back({OpKind::kSemP, prev, 0, false});
+      for (std::uint32_t j = 0; j < gen.handoff_slots; ++j) {
+        code.push_back({OpKind::kRead, handoff_var(prev, ph, j), 0, true});
+      }
+
+      // 7. observed region reads: own current slice (program order) or
+      //    any node's strictly earlier slice (barrier order).
+      for (std::uint32_t r = 0; r < gen.reads_per_phase; ++r) {
+        std::uint32_t src_node = n;
+        std::uint32_t src_phase = ph;
+        if (ph > 0 && rng.chance(0.75)) {
+          src_node = static_cast<std::uint32_t>(rng.next_below(gen.n_nodes));
+          src_phase = static_cast<std::uint32_t>(rng.next_below(ph));
+        }
+        const auto j = static_cast<std::uint32_t>(rng.next_below(gen.region_slots));
+        code.push_back({OpKind::kRead, region_var(src_node, src_phase, j), 0, true});
+      }
+
+      // 8. phase barrier
+      code.push_back({OpKind::kBarrier, 0, 0, false});
+    }
+
+    // Final sweep: after the last barrier every region write in the whole
+    // program is ordered before these reads.
+    for (std::uint32_t r = 0; r < gen.final_reads; ++r) {
+      const auto src_node = static_cast<std::uint32_t>(rng.next_below(gen.n_nodes));
+      const auto src_phase = static_cast<std::uint32_t>(rng.next_below(gen.phases));
+      const auto j = static_cast<std::uint32_t>(rng.next_below(gen.region_slots));
+      code.push_back({OpKind::kRead, region_var(src_node, src_phase, j), 0, true});
+    }
+  }
+  return p;
+}
+
+}  // namespace bcsim::ref

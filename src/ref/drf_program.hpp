@@ -1,0 +1,114 @@
+// Data-race-free program IR + generator for differential testing.
+//
+// The paper's correctness claim (section 3) is conditional: buffered
+// consistency with reader-initiated coherence behaves like sequential
+// consistency *for properly-synchronized programs*. The differential
+// oracle (docs/TESTING.md, "Differential testing") makes that claim
+// executable: a seeded generator emits randomized DRF programs in a small
+// symbolic IR, and the same program runs both on the full machine and on
+// the golden SC reference interpreter (ref_machine.hpp). Because the
+// program is DRF *and* every observed read is schedule-independent by
+// construction, the two executions must agree on every observed value,
+// every final variable, and every final semaphore count — any mismatch is
+// a machine bug, never schedule noise.
+//
+// The IR is symbolic: operations name variables, locks, semaphores, and
+// the (single, global) barrier by id, not by address. Each executor maps
+// ids onto its own address layout (the machine places CBL counters inside
+// the lock block so the data rides the grant; the reference needs no
+// addresses at all). This keeps one program comparable across machines
+// whose lock implementations allocate memory differently.
+//
+// Generated program shape (per node, per phase, everything seeded):
+//   1. jittered compute
+//   2. writes to the node's own region slice for this phase
+//   3. handoff produce: write handoff slots, then V the node's ring
+//      semaphore
+//   4. a lock-protected critical section: fetch-add style updates to the
+//      lock's counters (final values are schedule-independent sums;
+//      intermediate reads are not observed)
+//   5. optionally a P ... V pass through the counting throttle semaphore
+//   6. handoff consume: P the upstream neighbor's ring semaphore, then
+//      *observed* reads of the slots it produced this phase (ordered by
+//      the semaphore's happens-before edge)
+//   7. observed reads of region slices from strictly earlier phases
+//      (ordered by the interphase barrier) and of the node's own current
+//      slice (ordered by program order)
+//   8. global barrier
+// plus a final observed sweep over random region slices after the last
+// barrier, when every write in the program has been performed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace bcsim::ref {
+
+enum class OpKind : std::uint8_t {
+  kCompute,  ///< id = cycles of local work
+  kWrite,    ///< id = var, value = word to store (single static writer)
+  kRead,     ///< id = var; `observed` reads enter the comparison stream
+  kLock,     ///< id = lock (exclusive; generator never nests locks)
+  kUnlock,   ///< id = lock
+  kCsAdd,    ///< id = counter var, value = delta; only under the owning lock
+  kBarrier,  ///< global barrier over all nodes (id unused)
+  kSemP,     ///< id = semaphore
+  kSemV,     ///< id = semaphore
+};
+
+[[nodiscard]] const char* to_string(OpKind k) noexcept;
+
+struct DrfOp {
+  OpKind kind = OpKind::kCompute;
+  std::uint32_t id = 0;
+  Word value = 0;
+  bool observed = false;
+};
+
+/// Generator knobs (docs/TESTING.md lists what each one stresses).
+struct DrfGenConfig {
+  std::uint32_t n_nodes = 8;
+  std::uint32_t phases = 3;
+  std::uint32_t region_slots = 2;   ///< own-region writes per node per phase
+  std::uint32_t handoff_slots = 2;  ///< semaphore-ordered slots per phase
+  std::uint32_t n_locks = 2;
+  std::uint32_t counters_per_lock = 2;
+  std::uint32_t reads_per_phase = 3;  ///< observed old-slice reads per phase
+  std::uint32_t final_reads = 4;      ///< observed sweep after the last barrier
+  Word throttle_initial = 2;          ///< counting semaphore initial value
+};
+
+struct DrfProgram {
+  std::uint64_t program_seed = 0;
+  DrfGenConfig gen;
+
+  // Variable ids: counters occupy [0, n_counters); region and handoff
+  // words follow. counter_lock maps each counter to the lock that guards
+  // it (used by the machine layout to colocate data with a CBL lock).
+  std::uint32_t n_vars = 0;
+  std::uint32_t n_counters = 0;
+  std::vector<std::uint32_t> counter_lock;
+
+  std::uint32_t n_locks = 0;
+  /// Ring semaphores [0, n_nodes) (node i signals sem i, node (i+1)%n
+  /// waits on it), then the counting throttle semaphore.
+  std::uint32_t n_sems = 0;
+  std::vector<Word> sem_initial;
+
+  std::vector<std::vector<DrfOp>> code;  ///< per-node op list
+
+  [[nodiscard]] std::uint64_t ops_total() const noexcept {
+    std::uint64_t t = 0;
+    for (const auto& c : code) t += c.size();
+    return t;
+  }
+};
+
+/// Deterministically generates a DRF program from a seed. Identical
+/// (seed, gen) pairs produce identical programs on every platform.
+[[nodiscard]] DrfProgram generate_drf_program(std::uint64_t program_seed,
+                                              const DrfGenConfig& gen = {});
+
+}  // namespace bcsim::ref

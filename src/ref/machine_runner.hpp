@@ -1,0 +1,55 @@
+// Full-machine executor for DRF programs: the other half of the
+// differential oracle (see drf_program.hpp / ref_machine.hpp).
+//
+// Interprets a DrfProgram on a real core::Machine, one coroutine per node,
+// using the protocol-agnostic access helpers of workload/access.hpp and
+// the sync library (so WBI, read-update + BC, and CBL-on-WBI flavors all
+// execute the IR through their native primitives). Produces the same
+// comparison stream as the reference machine — observed read values,
+// final variable values, final semaphore counts — plus the machine ticks
+// at which observed reads completed, which is what lets a divergence
+// report name the exact cycle.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "ref/drf_program.hpp"
+#include "sim/types.hpp"
+
+namespace bcsim::ref {
+
+/// One observed read as the machine performed it.
+struct MachineObs {
+  std::uint32_t op_index = 0;
+  std::uint32_t var = 0;
+  Word value = 0;
+  Tick tick = 0;  ///< simulated cycle at which the read completed
+};
+
+struct MachineRunResult {
+  bool completed = false;  ///< all programs done and the machine quiescent
+  Tick completion = 0;
+  std::string error;       ///< exception text (budget exhausted, invariant violation)
+  std::vector<Word> final_vars;  ///< per variable id, via Machine::peek_coherent
+  std::vector<Word> final_sems;
+  std::vector<std::vector<MachineObs>> obs;  ///< per node, program order
+  std::vector<Addr> var_addr;  ///< the layout, for naming addr/block in reports
+  std::vector<Addr> sem_addr;  ///< semaphore count words, same purpose
+};
+
+/// Runs `prog` on a machine built from `cfg` (cfg.n_nodes must equal the
+/// program's node count). Never throws for simulation failures — they are
+/// reported in `error` so the diff driver can treat "machine stuck" and
+/// "invariant violation" as divergences with context. When `trace_tail`
+/// is non-null and cfg.trace is on, the newest trace records are written
+/// there after the run (the diff driver's replay path).
+[[nodiscard]] MachineRunResult run_on_machine(const DrfProgram& prog,
+                                              const core::MachineConfig& cfg,
+                                              Tick budget = 100'000'000,
+                                              std::ostream* trace_tail = nullptr);
+
+}  // namespace bcsim::ref

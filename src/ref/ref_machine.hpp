@@ -1,0 +1,59 @@
+// Golden sequentially-consistent reference machine.
+//
+// A cache-less, buffer-less interpreter of DRF programs: one atomic global
+// memory, blocking lock/barrier/semaphore semantics, and a seeded
+// scheduler that executes exactly one operation of one runnable node per
+// step. Every execution it can produce is sequentially consistent by
+// construction (operations are atomic and interleaved, never reordered or
+// buffered), so for a DRF program its observed reads, final variable
+// values, and final semaphore counts are the ground truth the full
+// machine must reproduce (docs/TESTING.md, "Differential testing").
+//
+// The schedule seed exists for a self-check, not for coverage: a DRF
+// program's comparison stream must be identical under *every* reference
+// schedule. `bcsim diff` runs the reference twice with different seeds
+// and refuses to proceed if they disagree — that would mean the generator
+// emitted a racy program and the oracle would be comparing noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ref/drf_program.hpp"
+#include "sim/types.hpp"
+
+namespace bcsim::ref {
+
+/// One observed read in the comparison stream.
+struct RefObs {
+  std::uint32_t op_index = 0;
+  std::uint32_t var = 0;
+  Word value = 0;
+};
+
+struct RefResult {
+  bool deadlocked = false;    ///< generator bug if ever true for a DRF program
+  std::uint64_t steps = 0;    ///< operations executed (reference "time")
+  std::vector<Word> final_vars;              ///< per variable id
+  std::vector<Word> final_sems;              ///< per semaphore id
+  std::vector<std::vector<RefObs>> obs;      ///< per node, program order
+  std::vector<std::uint64_t> lock_acquisitions;  ///< per lock
+  std::vector<std::uint32_t> locks_held_at_end;  ///< must be empty for DRF programs
+};
+
+/// Two reference runs agree on everything a DRF program pins down.
+[[nodiscard]] bool ref_results_agree(const RefResult& a, const RefResult& b);
+
+class RefMachine {
+ public:
+  RefMachine(const DrfProgram& prog, std::uint64_t schedule_seed);
+
+  /// Interprets the whole program; safe to call once per instance.
+  [[nodiscard]] RefResult run();
+
+ private:
+  const DrfProgram& prog_;
+  std::uint64_t schedule_seed_;
+};
+
+}  // namespace bcsim::ref

@@ -1,0 +1,299 @@
+// Differential-oracle tests (docs/TESTING.md, "Differential testing"):
+// the DRF generator's structural guarantees, the golden SC reference
+// machine's schedule-independence, clean diff cells on every flavor, the
+// oracle's ability to catch both a tampered result and a deliberately
+// injected write-buffer bug, and a replay of tests/diff_corpus.txt — every
+// divergence `bcsim diff` ever recorded stays fixed forever.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ref/diff.hpp"
+#include "ref/drf_program.hpp"
+#include "ref/machine_runner.hpp"
+#include "ref/ref_machine.hpp"
+
+namespace bcsim {
+namespace {
+
+using ref::DrfGenConfig;
+using ref::DrfOp;
+using ref::DrfProgram;
+using ref::OpKind;
+
+DrfGenConfig small_gen() {
+  DrfGenConfig g;
+  g.n_nodes = 4;
+  g.phases = 2;
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Generator structure: the DRF guarantees the oracle's soundness rests on.
+// ---------------------------------------------------------------------------
+
+TEST(DrfGenerator, IsDeterministic) {
+  const DrfProgram a = ref::generate_drf_program(7, small_gen());
+  const DrfProgram b = ref::generate_drf_program(7, small_gen());
+  ASSERT_EQ(a.n_vars, b.n_vars);
+  ASSERT_EQ(a.code.size(), b.code.size());
+  for (std::size_t n = 0; n < a.code.size(); ++n) {
+    ASSERT_EQ(a.code[n].size(), b.code[n].size()) << "node " << n;
+    for (std::size_t i = 0; i < a.code[n].size(); ++i) {
+      EXPECT_EQ(a.code[n][i].kind, b.code[n][i].kind);
+      EXPECT_EQ(a.code[n][i].id, b.code[n][i].id);
+      EXPECT_EQ(a.code[n][i].value, b.code[n][i].value);
+      EXPECT_EQ(a.code[n][i].observed, b.code[n][i].observed);
+    }
+  }
+}
+
+TEST(DrfGenerator, DistinctSeedsDiffer) {
+  const DrfProgram a = ref::generate_drf_program(1, small_gen());
+  const DrfProgram b = ref::generate_drf_program(2, small_gen());
+  bool differ = a.ops_total() != b.ops_total();
+  for (std::size_t n = 0; !differ && n < a.code.size(); ++n) {
+    for (std::size_t i = 0; !differ && i < std::min(a.code[n].size(), b.code[n].size());
+         ++i) {
+      differ = a.code[n][i].kind != b.code[n][i].kind ||
+               a.code[n][i].id != b.code[n][i].id ||
+               a.code[n][i].value != b.code[n][i].value;
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(DrfGenerator, LocksBalanceAndGuardCounters) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const DrfProgram prog = ref::generate_drf_program(seed, small_gen());
+    for (std::uint32_t n = 0; n < prog.gen.n_nodes; ++n) {
+      int held = -1;  // -1 = none (generator never nests locks)
+      for (const DrfOp& op : prog.code[n]) {
+        switch (op.kind) {
+          case OpKind::kLock:
+            ASSERT_EQ(held, -1) << "seed " << seed << " node " << n << " nests locks";
+            held = static_cast<int>(op.id);
+            break;
+          case OpKind::kUnlock:
+            ASSERT_EQ(held, static_cast<int>(op.id));
+            held = -1;
+            break;
+          case OpKind::kCsAdd:
+            ASSERT_GE(held, 0) << "CsAdd outside a critical section";
+            ASSERT_EQ(static_cast<std::uint32_t>(held), prog.counter_lock[op.id])
+                << "CsAdd under the wrong lock";
+            break;
+          default:
+            break;
+        }
+      }
+      ASSERT_EQ(held, -1) << "lock leaked at program end";
+    }
+  }
+}
+
+TEST(DrfGenerator, SingleStaticWriterPerVariable) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const DrfProgram prog = ref::generate_drf_program(seed, small_gen());
+    // kWrite targets (region + handoff words) must have exactly one
+    // writing node; counters are only touched via lock-guarded kCsAdd.
+    std::vector<int> writer(prog.n_vars, -1);
+    for (std::uint32_t n = 0; n < prog.gen.n_nodes; ++n) {
+      for (const DrfOp& op : prog.code[n]) {
+        if (op.kind == OpKind::kWrite) {
+          ASSERT_TRUE(writer[op.id] == -1 || writer[op.id] == static_cast<int>(n))
+              << "var " << op.id << " written by nodes " << writer[op.id] << " and "
+              << n << " (seed " << seed << ")";
+          writer[op.id] = static_cast<int>(n);
+          ASSERT_GE(op.id, prog.n_counters) << "plain write to a lock-guarded counter";
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The golden reference: SC interpretation, schedule-independent streams.
+// ---------------------------------------------------------------------------
+
+TEST(RefMachine, ScheduleSeedsAgreeOnDrfPrograms) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const DrfProgram prog = ref::generate_drf_program(seed, small_gen());
+    const ref::RefResult a = ref::RefMachine(prog, 11).run();
+    const ref::RefResult b = ref::RefMachine(prog, 0xfeedfaceULL).run();
+    EXPECT_FALSE(a.deadlocked) << "seed " << seed;
+    EXPECT_TRUE(a.locks_held_at_end.empty());
+    EXPECT_TRUE(ref::ref_results_agree(a, b))
+        << "reference streams depend on the schedule (seed " << seed
+        << ") — the generator emitted a racy program";
+  }
+}
+
+TEST(RefMachine, CounterSumsMatchTheEmittedDeltas) {
+  const DrfProgram prog = ref::generate_drf_program(3, small_gen());
+  std::vector<Word> want(prog.n_counters, 0);
+  for (const auto& code : prog.code) {
+    for (const DrfOp& op : code) {
+      if (op.kind == OpKind::kCsAdd) want[op.id] += op.value;
+    }
+  }
+  const ref::RefResult r = ref::RefMachine(prog, 5).run();
+  for (std::uint32_t c = 0; c < prog.n_counters; ++c) {
+    EXPECT_EQ(r.final_vars[c], want[c]) << "counter " << c;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The oracle end to end: clean cells, tampering, injected faults.
+// ---------------------------------------------------------------------------
+
+TEST(Diff, AllFlavorsMatchTheReference) {
+  const DrfProgram prog = ref::generate_drf_program(1, small_gen());
+  const ref::RefResult ref_run = ref::RefMachine(prog, 1).run();
+  for (const ref::Flavor f :
+       {ref::Flavor::kWbi, ref::Flavor::kRu, ref::Flavor::kCbl}) {
+    const ref::Divergence d = ref::diff_one(prog, ref_run, f, 0);
+    EXPECT_FALSE(d.found()) << ref::to_string(f) << ": " << d.detail;
+  }
+}
+
+TEST(Diff, CatchesATamperedObservation) {
+  const DrfProgram prog = ref::generate_drf_program(2, small_gen());
+  const ref::RefResult ref_run = ref::RefMachine(prog, 1).run();
+  const auto cfg = ref::flavor_config(ref::Flavor::kWbi, prog.gen.n_nodes, 0);
+  ref::MachineRunResult mach = ref::run_on_machine(prog, cfg);
+  ASSERT_TRUE(mach.completed) << mach.error;
+
+  // Find a node with at least one observation and corrupt it.
+  for (std::uint32_t n = 0; n < prog.gen.n_nodes; ++n) {
+    if (mach.obs[n].empty()) continue;
+    mach.obs[n].front().value ^= 0x1;
+    const ref::Divergence d = ref::compare_runs(prog, ref_run, mach, cfg.block_words);
+    ASSERT_TRUE(d.found());
+    EXPECT_EQ(d.kind, ref::Divergence::Kind::kObsRead);
+    EXPECT_EQ(d.node, n);
+    EXPECT_NE(d.detail.find("block"), std::string::npos) << d.detail;
+    EXPECT_NE(d.detail.find("tick"), std::string::npos) << d.detail;
+    return;
+  }
+  FAIL() << "no observations to tamper with";
+}
+
+TEST(Diff, CatchesATamperedFinalVariable) {
+  const DrfProgram prog = ref::generate_drf_program(2, small_gen());
+  const ref::RefResult ref_run = ref::RefMachine(prog, 1).run();
+  const auto cfg = ref::flavor_config(ref::Flavor::kCbl, prog.gen.n_nodes, 0);
+  ref::MachineRunResult mach = ref::run_on_machine(prog, cfg);
+  ASSERT_TRUE(mach.completed) << mach.error;
+  mach.final_vars.back() += 1;
+  const ref::Divergence d = ref::compare_runs(prog, ref_run, mach, cfg.block_words);
+  ASSERT_TRUE(d.found());
+  EXPECT_EQ(d.kind, ref::Divergence::Kind::kFinalVar);
+}
+
+// The acceptance demonstration, pinned as a unit test: removing the
+// CP-Synch flush gate (WbFault::kEagerFlush) on the buffered-consistency
+// machine must produce a divergence whose report names a block and tick.
+// The mesh's distance-dependent paths are what let the un-flushed write
+// lose the race (docs/TESTING.md).
+TEST(Diff, CatchesTheEagerFlushFault) {
+  DrfGenConfig gen;
+  gen.n_nodes = 16;
+  gen.phases = 3;
+  bool caught = false;
+  for (std::uint64_t seed = 0; seed < 4 && !caught; ++seed) {
+    const DrfProgram prog = ref::generate_drf_program(seed, gen);
+    const ref::RefResult ref_run = ref::RefMachine(prog, 1).run();
+    for (std::uint64_t ss = 0; ss < 2 && !caught; ++ss) {
+      core::MachineConfig cfg = ref::flavor_config(ref::Flavor::kRu, gen.n_nodes, ss);
+      cfg.network = core::NetworkKind::kMesh;
+      cfg.wb_fault = core::WbFault::kEagerFlush;
+      const ref::Divergence d = ref::diff_one(prog, ref_run, ref::Flavor::kRu, ss, &cfg);
+      if (!d.found()) continue;
+      caught = true;
+      EXPECT_NE(d.detail.find("block"), std::string::npos) << d.detail;
+      EXPECT_NE(d.detail.find("tick"), std::string::npos) << d.detail;
+    }
+  }
+  EXPECT_TRUE(caught)
+      << "the injected eager-flush reordering bug escaped a 4x2 diff grid";
+}
+
+// The same grid without the fault stays clean — the fault test above is
+// meaningful only if the healthy machine passes the identical cells.
+TEST(Diff, MeshGridIsCleanWithoutTheFault) {
+  DrfGenConfig gen;
+  gen.n_nodes = 16;
+  gen.phases = 3;
+  for (std::uint64_t seed = 0; seed < 2; ++seed) {
+    const DrfProgram prog = ref::generate_drf_program(seed, gen);
+    const ref::RefResult ref_run = ref::RefMachine(prog, 1).run();
+    core::MachineConfig cfg = ref::flavor_config(ref::Flavor::kRu, gen.n_nodes, 0);
+    cfg.network = core::NetworkKind::kMesh;
+    const ref::Divergence d = ref::diff_one(prog, ref_run, ref::Flavor::kRu, 0, &cfg);
+    EXPECT_FALSE(d.found()) << d.detail;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus replay: every cell `bcsim diff` ever flagged stays fixed.
+// ---------------------------------------------------------------------------
+
+struct CorpusCase {
+  ref::Flavor flavor = ref::Flavor::kWbi;
+  std::uint64_t program_seed = 0;
+  std::uint64_t schedule_seed = 0;
+  std::uint32_t nodes = 8;
+  std::uint32_t phases = 3;
+  core::NetworkKind network = core::NetworkKind::kOmega;
+  std::string line;
+};
+
+std::vector<CorpusCase> load_corpus(const std::string& path) {
+  std::vector<CorpusCase> cases;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open corpus " << path;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    std::string flavor, network;
+    CorpusCase c;
+    is >> flavor >> c.program_seed >> c.schedule_seed >> c.nodes >> c.phases >> network;
+    EXPECT_FALSE(is.fail()) << "malformed corpus line: " << line;
+    const auto f = ref::parse_flavor(flavor);
+    EXPECT_TRUE(f.has_value()) << "bad flavor in corpus line: " << line;
+    if (is.fail() || !f) continue;
+    c.flavor = *f;
+    if (network == "mesh") c.network = core::NetworkKind::kMesh;
+    else if (network == "crossbar") c.network = core::NetworkKind::kCrossbar;
+    else if (network == "ideal") c.network = core::NetworkKind::kIdeal;
+    c.line = line;
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+TEST(DiffCorpus, EveryRecordedDivergenceStaysFixed) {
+  const auto cases = load_corpus(BCSIM_DIFF_CORPUS);
+  ASSERT_FALSE(cases.empty());
+  for (const CorpusCase& c : cases) {
+    ref::DrfGenConfig gen;
+    gen.n_nodes = c.nodes;
+    gen.phases = c.phases;
+    const DrfProgram prog = ref::generate_drf_program(c.program_seed, gen);
+    const ref::RefResult ref_run = ref::RefMachine(prog, 1).run();
+    core::MachineConfig cfg =
+        ref::flavor_config(c.flavor, c.nodes, c.schedule_seed);
+    cfg.network = c.network;
+    const ref::Divergence d =
+        ref::diff_one(prog, ref_run, c.flavor, c.schedule_seed, &cfg);
+    EXPECT_FALSE(d.found()) << "corpus regression [" << c.line << "]: " << d.detail;
+  }
+}
+
+}  // namespace
+}  // namespace bcsim

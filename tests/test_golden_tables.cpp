@@ -1,0 +1,199 @@
+// Golden-value tests for the analytical models (src/analytic/table2.cpp,
+// table3.cpp): every scenario evaluated at the paper's default constants
+// over a grid of machine sizes, pinned to hand-evaluated literals.
+//
+// test_analytic.cpp checks hand computations at one point and the
+// asymptotic claims; this suite is the regression fence — any edit to a
+// formula coefficient shows up as an exact cell diff against the tables
+// below. Values are derived from the Table 2 / Table 3 rows with
+// C_B=6, C_W=2, C_I=1, C_R=1 and t_nw=6, t_cs=50, t_D=1, t_m=4 (the
+// header defaults, matching the paper's example parameters).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <iterator>
+
+#include "analytic/table2.hpp"
+#include "analytic/table3.hpp"
+
+namespace bcsim::analytic {
+namespace {
+
+// All formulas are closed-form in doubles; the tolerance only needs to
+// absorb association-order noise, scaled for the O(n^2) entries.
+double tol(double expected) { return 1e-9 * (1.0 + std::abs(expected)); }
+
+#define EXPECT_GOLDEN(actual, expected) \
+  EXPECT_NEAR(actual, expected, tol(expected))
+
+// ---------------------------------------------------------------------------
+// Table 2 — per-processor solver traffic (defaults: C_B=6, C_W=2, C_I=1,
+// C_R=1)
+// ---------------------------------------------------------------------------
+
+struct Table2Row {
+  std::uint32_t n;
+  std::uint32_t B;
+  double initial_load;
+  double write;
+  double read;
+};
+
+void check_rows(Scheme s, const Table2Row* rows, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& row = rows[i];
+    const auto got = solver_traffic(s, row.n, row.B);
+    SCOPED_TRACE(testing::Message()
+                 << to_string(s) << " n=" << row.n << " B=" << row.B);
+    EXPECT_GOLDEN(got.initial_load, row.initial_load);
+    EXPECT_GOLDEN(got.write, row.write);
+    EXPECT_GOLDEN(got.read, row.read);
+  }
+}
+
+TEST(GoldenTable2, ReadUpdateTrafficGrid) {
+  // init = ceil(n/B) C_B ; write = C_W + (n-1) C_B ; read = 0.
+  static constexpr Table2Row kRows[] = {
+      {4, 4, 6.0, 20.0, 0.0},    {4, 8, 6.0, 20.0, 0.0},
+      {16, 4, 24.0, 92.0, 0.0},  {16, 8, 12.0, 92.0, 0.0},
+      {64, 4, 96.0, 380.0, 0.0}, {64, 8, 48.0, 380.0, 0.0},
+  };
+  check_rows(Scheme::kReadUpdate, kRows, std::size(kRows));
+}
+
+TEST(GoldenTable2, InvColocatedTrafficGrid) {
+  // write = (1/B)(C_R + (n-1)C_I) + ((B-1)/B)(2C_R + 2C_B)
+  // read  = C_B (ceil(n/B) - 1/B)
+  static constexpr Table2Row kRows[] = {
+      {4, 4, 6.0, 11.5, 4.5},     {4, 8, 6.0, 12.75, 5.25},
+      {16, 4, 24.0, 14.5, 22.5},  {16, 8, 12.0, 14.25, 11.25},
+      {64, 4, 96.0, 26.5, 94.5},  {64, 8, 48.0, 20.25, 47.25},
+  };
+  check_rows(Scheme::kInvColocated, kRows, std::size(kRows));
+}
+
+TEST(GoldenTable2, InvSeparateTrafficGrid) {
+  // init = n C_B ; write = C_R + (n-1) C_I = n ; read = (n-1) C_B.
+  // Block size is irrelevant once every element has its own block.
+  static constexpr Table2Row kRows[] = {
+      {4, 4, 24.0, 4.0, 18.0},    {4, 8, 24.0, 4.0, 18.0},
+      {16, 4, 96.0, 16.0, 90.0},  {16, 8, 96.0, 16.0, 90.0},
+      {64, 4, 384.0, 64.0, 378.0}, {64, 8, 384.0, 64.0, 378.0},
+  };
+  check_rows(Scheme::kInvSeparate, kRows, std::size(kRows));
+}
+
+TEST(GoldenTable2, LatencyViewWriteColumn) {
+  // The latency view collapses each p||transaction group to one transfer:
+  // RU write = C_W + C_B = 8 for every n; inv-I write = (1/B)(C_R + C_I) +
+  // ((B-1)/B)(2C_R + 2C_B); inv-II write = C_R + C_I = 2.
+  for (std::uint32_t n : {4u, 16u, 64u}) {
+    SCOPED_TRACE(testing::Message() << "n=" << n);
+    EXPECT_GOLDEN(solver_latency(Scheme::kReadUpdate, n, 4).write, 8.0);
+    EXPECT_GOLDEN(solver_latency(Scheme::kInvColocated, n, 4).write, 11.0);
+    EXPECT_GOLDEN(solver_latency(Scheme::kInvColocated, n, 8).write, 12.5);
+    EXPECT_GOLDEN(solver_latency(Scheme::kInvSeparate, n, 4).write, 2.0);
+  }
+  // initial_load and read are traffic-identical (no parallel groups there).
+  const auto t = solver_traffic(Scheme::kInvColocated, 16, 4);
+  const auto l = solver_latency(Scheme::kInvColocated, 16, 4);
+  EXPECT_GOLDEN(l.initial_load, t.initial_load);
+  EXPECT_GOLDEN(l.read, t.read);
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — synchronization scenarios (defaults: t_nw=6, t_cs=50, t_D=1,
+// t_m=4)
+// ---------------------------------------------------------------------------
+
+struct Table3Row {
+  std::uint32_t n;
+  double wbi_messages;
+  double wbi_time;
+  double cbl_messages;
+  double cbl_time;
+};
+
+void check_rows(SyncScenario s, const Table3Row* rows, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& row = rows[i];
+    const auto wbi = wbi_cost(s, row.n);
+    const auto cbl = cbl_cost(s, row.n);
+    SCOPED_TRACE(testing::Message() << to_string(s) << " n=" << row.n);
+    EXPECT_GOLDEN(wbi.messages, row.wbi_messages);
+    EXPECT_GOLDEN(wbi.time, row.wbi_time);
+    EXPECT_GOLDEN(cbl.messages, row.cbl_messages);
+    EXPECT_GOLDEN(cbl.time, row.cbl_time);
+  }
+}
+
+TEST(GoldenTable3, ParallelLockGrid) {
+  // WBI: {6n^2 + 4n, 14.5 n^2 + 109.5 n} — the quadratic term is the
+  // spin-lock invalidation storm. CBL: {6n - 3, 63n + 11} — linear, the
+  // queue hands the lock point to point.
+  static constexpr Table3Row kRows[] = {
+      {2, 32.0, 277.0, 9.0, 137.0},
+      {4, 112.0, 670.0, 21.0, 263.0},
+      {8, 416.0, 1804.0, 45.0, 515.0},
+      {16, 1600.0, 5464.0, 93.0, 1019.0},
+      {32, 6272.0, 18352.0, 189.0, 2027.0},
+      {64, 24832.0, 66400.0, 381.0, 4043.0},
+  };
+  check_rows(SyncScenario::kParallelLock, kRows, std::size(kRows));
+}
+
+TEST(GoldenTable3, SerialLockIsSizeIndependent) {
+  // WBI: {8, 8 t_nw + 5 t_D + t_m + t_cs = 107}; CBL: {3, 3 t_nw + t_D +
+  // t_cs = 69}. One uncontended acquire/release never touches n.
+  static constexpr Table3Row kRows[] = {
+      {2, 8.0, 107.0, 3.0, 69.0},
+      {16, 8.0, 107.0, 3.0, 69.0},
+      {128, 8.0, 107.0, 3.0, 69.0},
+  };
+  check_rows(SyncScenario::kSerialLock, kRows, std::size(kRows));
+}
+
+TEST(GoldenTable3, BarrierRequestIsSizeIndependent) {
+  // WBI: {18, 18 t_nw + 12 t_D = 120}; CBL: {2, 2(t_nw + t_m) = 20}.
+  static constexpr Table3Row kRows[] = {
+      {2, 18.0, 120.0, 2.0, 20.0},
+      {16, 18.0, 120.0, 2.0, 20.0},
+      {128, 18.0, 120.0, 2.0, 20.0},
+  };
+  check_rows(SyncScenario::kBarrierRequest, kRows, std::size(kRows));
+}
+
+TEST(GoldenTable3, BarrierNotifyGrid) {
+  // WBI: {5n - 3, 4 t_nw + (2n - 1) t_D = 2n + 23}; CBL: {n, 2 t_nw +
+  // (n - 1) t_D = n + 11}.
+  static constexpr Table3Row kRows[] = {
+      {2, 7.0, 27.0, 2.0, 13.0},
+      {4, 17.0, 31.0, 4.0, 15.0},
+      {8, 37.0, 39.0, 8.0, 19.0},
+      {16, 77.0, 55.0, 16.0, 27.0},
+      {32, 157.0, 87.0, 32.0, 43.0},
+      {64, 317.0, 151.0, 64.0, 75.0},
+  };
+  check_rows(SyncScenario::kBarrierNotify, kRows, std::size(kRows));
+}
+
+// The non-default constants path: Table 3 at t_nw=1, t_cs=10, t_D=1, t_m=2
+// (a "fast network" point) — pins that the constants thread through every
+// term rather than only the leading one.
+TEST(GoldenTable3, FastNetworkConstantsThreadThroughEveryTerm) {
+  const TimeConstants fast{1.0, 10.0, 1.0, 2.0};
+  const auto wbi = wbi_cost(SyncScenario::kSerialLock, 8, fast);
+  EXPECT_GOLDEN(wbi.messages, 8.0);
+  EXPECT_GOLDEN(wbi.time, 8 * 1.0 + 5 * 1.0 + 2.0 + 10.0);  // 25
+  const auto cbl = cbl_cost(SyncScenario::kSerialLock, 8, fast);
+  EXPECT_GOLDEN(cbl.messages, 3.0);
+  EXPECT_GOLDEN(cbl.time, 3 * 1.0 + 1.0 + 10.0);  // 14
+  const auto par = cbl_cost(SyncScenario::kParallelLock, 8, fast);
+  EXPECT_GOLDEN(par.messages, 45.0);
+  // n t_cs + (2n+1) t_nw + (n+1) t_D + t_m = 80 + 17 + 9 + 2
+  EXPECT_GOLDEN(par.time, 108.0);
+}
+
+}  // namespace
+}  // namespace bcsim::analytic

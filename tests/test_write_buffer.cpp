@@ -1,0 +1,155 @@
+// Direct unit tests for cache::WriteBuffer — the retire-count watermark
+// that implements FLUSH-BUFFER's ordering guarantee (paper section 4.2),
+// its edge cases (capacity-1 buffers, the retire underflow guard), and
+// the two injectable faults the differential oracle uses
+// (docs/TESTING.md, "Differential testing").
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "cache/write_buffer.hpp"
+
+namespace bcsim {
+namespace {
+
+using cache::WriteBuffer;
+
+TEST(WriteBuffer, FlushOnEmptyFiresImmediately) {
+  WriteBuffer wb;
+  bool fired = false;
+  wb.on_drained([&] { fired = true; });
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(wb.waiters(), 0u);
+}
+
+TEST(WriteBuffer, WatermarkCoversOnlyPrecedingWrites) {
+  WriteBuffer wb;
+  wb.enter();
+  wb.enter();
+  bool fired = false;
+  wb.on_drained([&] { fired = true; });
+  // A write entered *after* the flush registered must not delay it.
+  wb.enter();
+  wb.retire();
+  EXPECT_FALSE(fired) << "flush fired with a preceding write still pending";
+  wb.retire();
+  EXPECT_TRUE(fired) << "flush must fire once both preceding writes retired";
+  EXPECT_EQ(wb.pending(), 1u);  // the late write is still in flight
+}
+
+TEST(WriteBuffer, FlushWaitersFireInRegistrationOrder) {
+  WriteBuffer wb;
+  std::vector<int> order;
+  wb.enter();
+  wb.on_drained([&] { order.push_back(1); });
+  wb.enter();
+  wb.on_drained([&] { order.push_back(2); });
+  wb.retire();
+  ASSERT_EQ(order.size(), 1u);  // first flush covers one write only
+  wb.retire();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(WriteBuffer, RetireWithoutEntryThrows) {
+  WriteBuffer wb;
+  EXPECT_THROW(wb.retire(), std::logic_error);
+  wb.enter();
+  wb.retire();
+  // The retire counter must guard the boundary on every revolution, not
+  // just the first: an ack with no matching entry is always a bug.
+  EXPECT_THROW(wb.retire(), std::logic_error);
+}
+
+TEST(WriteBuffer, CapacityOneAppliesBackpressure) {
+  WriteBuffer wb(1);
+  EXPECT_FALSE(wb.unbounded());
+  int issued = 0;
+  auto writer = [&] {
+    wb.enter();
+    ++issued;
+  };
+  wb.on_slot(writer);  // immediate: buffer empty
+  EXPECT_EQ(issued, 1);
+  EXPECT_TRUE(wb.full());
+  wb.on_slot(writer);  // parks: the only slot is taken
+  EXPECT_EQ(issued, 1);
+  EXPECT_EQ(wb.waiters(), 1u);
+  wb.retire();
+  EXPECT_EQ(issued, 2) << "freed slot must wake the parked writer";
+  EXPECT_TRUE(wb.full());
+  wb.retire();
+  EXPECT_TRUE(wb.empty());
+}
+
+// The ordering contract between the two waiter kinds on a capacity-1
+// buffer: the slot waiter runs first (its write entered *after* the
+// flush, so it must not delay the flush), and the flush still fires on
+// the same retire — a refilling slot must not starve a watermark that
+// has already been reached.
+TEST(WriteBuffer, RefillingSlotDoesNotStarveTheFlush) {
+  WriteBuffer wb(1);
+  wb.on_slot([&] { wb.enter(); });  // fills the buffer
+  bool flushed = false;
+  wb.on_drained([&] { flushed = true; });  // watermark = 1
+  bool refilled = false;
+  wb.on_slot([&] {
+    wb.enter();
+    refilled = true;
+  });
+  EXPECT_FALSE(flushed);
+  EXPECT_FALSE(refilled);
+  wb.retire();
+  EXPECT_TRUE(refilled) << "slot waiter must be woken by the retire";
+  EXPECT_TRUE(flushed)
+      << "flush starved: the refill raised pending above zero, but the "
+         "watermark (all writes preceding the flush) was reached";
+  EXPECT_EQ(wb.pending(), 1u);
+}
+
+// Fault kEagerFlush (the differential oracle's injected reordering bug):
+// the gate disappears entirely — a flush completes with writes in flight.
+TEST(WriteBuffer, EagerFlushFaultRemovesTheGate) {
+  WriteBuffer wb;
+  wb.inject_fault(WriteBuffer::Fault::kEagerFlush);
+  wb.enter();
+  bool fired = false;
+  wb.on_drained([&] { fired = true; });
+  EXPECT_TRUE(fired) << "kEagerFlush must complete the flush immediately";
+  EXPECT_EQ(wb.pending(), 1u);
+}
+
+// Fault kEmptyGate (the pre-watermark bug): the flush waits for a fully
+// empty buffer, so a write entered after the flush delays it — exactly
+// the starvation the watermark fix removed.
+TEST(WriteBuffer, EmptyGateFaultWaitsForAFullyEmptyBuffer) {
+  WriteBuffer wb;
+  wb.inject_fault(WriteBuffer::Fault::kEmptyGate);
+  wb.enter();
+  bool fired = false;
+  wb.on_drained([&] { fired = true; });
+  wb.enter();  // entered after the flush — must not matter, but does here
+  wb.retire();
+  EXPECT_FALSE(fired) << "empty-gate bug: pending == 1, so the gate holds";
+  wb.retire();
+  EXPECT_TRUE(fired);
+}
+
+// Faults apply to flushes registered after injection; pending() and the
+// underflow guard are unaffected by either fault.
+TEST(WriteBuffer, FaultsDoNotCorruptAccounting) {
+  WriteBuffer wb;
+  wb.inject_fault(WriteBuffer::Fault::kEagerFlush);
+  wb.enter();
+  wb.enter();
+  EXPECT_EQ(wb.pending(), 2u);
+  wb.retire();
+  wb.retire();
+  EXPECT_TRUE(wb.empty());
+  EXPECT_THROW(wb.retire(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace bcsim

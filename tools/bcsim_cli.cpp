@@ -48,6 +48,19 @@
 // Runs the perf-regression harness: substrate microbenchmarks plus one
 // end-to-end run per machine flavor, written as BENCH_<rev>.json for
 // scripts/bench_compare.py. See docs/BENCHMARKS.md.
+//
+//   bcsim diff [--flavors wbi,ru,cbl] [--programs N] [--schedules M]
+//              [--first-program S] [--first-schedule S] [--nodes N]
+//              [--phases P] [--corpus PATH] [--inject-fault F] [--budget T]
+//
+// The differential oracle: sweeps randomized data-race-free programs over
+// a (program_seed x schedule_seed) grid, comparing each machine flavor
+// against the golden sequentially-consistent reference interpreter. The
+// first divergence is reported with node/op/var/addr/block/tick, replayed
+// with event tracing, and appended to --corpus. --inject-fault
+// {eager-flush, empty-gate} deliberately breaks the write-buffer flush
+// gate to prove the oracle catches it. Exit 1 on divergence. See
+// docs/TESTING.md, "Differential testing".
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
@@ -60,6 +73,7 @@
 #include <string>
 
 #include "bcsim_bench.hpp"
+#include "bcsim_diff.hpp"
 #include "core/machine.hpp"
 #include "workload/fft_phases.hpp"
 #include "workload/grid_stencil.hpp"
@@ -184,6 +198,42 @@ tool::BenchOptions parse_bench_args(int argc, char** argv) {
     else if (a == "--out") o.out = need(i);
     else if (a == "--rev") o.revision = need(i);
     else usage_error("unknown bench flag '" + a + "'");
+  }
+  return o;
+}
+
+tool::DiffOptions parse_diff_args(int argc, char** argv) {
+  tool::DiffOptions o;
+  auto need = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--flavors") {
+      std::string list = need(i);
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string name =
+            list.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        const auto f = ref::parse_flavor(name);
+        if (!f) usage_error("unknown flavor '" + name + "' (wbi, ru, cbl)");
+        o.flavors.push_back(*f);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (a == "--programs") o.programs = parse_u64_flag(a, need(i));
+    else if (a == "--schedules") o.schedules = parse_u64_flag(a, need(i));
+    else if (a == "--first-program") o.first_program = parse_u64_flag(a, need(i));
+    else if (a == "--first-schedule") o.first_schedule = parse_u64_flag(a, need(i));
+    else if (a == "--nodes") o.nodes = parse_u32_flag(a, need(i));
+    else if (a == "--phases") o.phases = parse_u32_flag(a, need(i));
+    else if (a == "--network") o.network = need(i);
+    else if (a == "--corpus") o.corpus = need(i);
+    else if (a == "--inject-fault") o.inject_fault = need(i);
+    else if (a == "--budget") o.budget = parse_u64_flag(a, need(i));
+    else usage_error("unknown diff flag '" + a + "'");
   }
   return o;
 }
@@ -747,6 +797,9 @@ int main(int argc, char** argv) {
   try {
     if (argc > 1 && std::strcmp(argv[1], "bench") == 0) {
       return tool::run_bench(parse_bench_args(argc, argv));
+    }
+    if (argc > 1 && std::strcmp(argv[1], "diff") == 0) {
+      return tool::run_diff(parse_diff_args(argc, argv));
     }
     const Options o = parse_args(argc, argv);
     return o.check ? run_check(o) : run(o);

@@ -1,0 +1,135 @@
+#include "bcsim_diff.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "ref/ref_machine.hpp"
+
+namespace bcsim::tool {
+
+namespace {
+
+/// Appends one replay line to the regression corpus. Format (one case per
+/// line, '#' comments): `<flavor> <program_seed> <schedule_seed> <nodes>
+/// <phases> [fault]` — tests/test_diff.cpp replays every line.
+void append_corpus(const DiffOptions& o, ref::Flavor flavor,
+                   std::uint64_t program_seed, std::uint64_t schedule_seed) {
+  if (o.corpus.empty()) return;
+  std::ofstream out(o.corpus, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "bcsim diff: cannot append to corpus %s\n", o.corpus.c_str());
+    return;
+  }
+  out << ref::to_string(flavor) << ' ' << program_seed << ' ' << schedule_seed << ' '
+      << o.nodes << ' ' << o.phases << ' '
+      << (o.network.empty() ? "omega" : o.network.c_str());
+  if (!o.inject_fault.empty()) out << ' ' << o.inject_fault;
+  out << '\n';
+  std::printf("  recorded in corpus: %s\n", o.corpus.c_str());
+}
+
+}  // namespace
+
+int run_diff(const DiffOptions& o) {
+  std::vector<ref::Flavor> flavors = o.flavors;
+  if (flavors.empty()) {
+    flavors = {ref::Flavor::kWbi, ref::Flavor::kRu, ref::Flavor::kCbl};
+  }
+  if (o.programs == 0 || o.schedules == 0) {
+    std::fprintf(stderr, "bcsim diff: --programs and --schedules must be >= 1\n");
+    return 2;
+  }
+  core::WbFault fault = core::WbFault::kNone;
+  if (o.inject_fault == "eager-flush") fault = core::WbFault::kEagerFlush;
+  else if (o.inject_fault == "empty-gate") fault = core::WbFault::kEmptyGate;
+  else if (!o.inject_fault.empty()) {
+    std::fprintf(stderr, "bcsim diff: unknown --inject-fault '%s'\n",
+                 o.inject_fault.c_str());
+    return 2;
+  }
+  core::NetworkKind network = core::NetworkKind::kOmega;
+  if (o.network == "omega" || o.network.empty()) network = core::NetworkKind::kOmega;
+  else if (o.network == "crossbar") network = core::NetworkKind::kCrossbar;
+  else if (o.network == "mesh") network = core::NetworkKind::kMesh;
+  else if (o.network == "ideal") network = core::NetworkKind::kIdeal;
+  else {
+    std::fprintf(stderr, "bcsim diff: unknown --network '%s'\n", o.network.c_str());
+    return 2;
+  }
+
+  ref::DrfGenConfig gen;
+  gen.n_nodes = o.nodes;
+  gen.phases = o.phases;
+
+  std::string flavor_list;
+  for (const auto f : flavors) {
+    if (!flavor_list.empty()) flavor_list += ",";
+    flavor_list += ref::to_string(f);
+  }
+  std::printf(
+      "diff: %llu programs x %llu schedules x {%s}, nodes=%u, phases=%u%s%s\n",
+      static_cast<unsigned long long>(o.programs),
+      static_cast<unsigned long long>(o.schedules), flavor_list.c_str(), o.nodes,
+      o.phases, o.inject_fault.empty() ? "" : ", injected fault: ",
+      o.inject_fault.c_str());
+
+  std::uint64_t cells = 0;
+  for (std::uint64_t ps = o.first_program; ps < o.first_program + o.programs; ++ps) {
+    const ref::DrfProgram prog = ref::generate_drf_program(ps, gen);
+
+    // Ground truth — and a generator self-check: a DRF program's
+    // comparison stream must not depend on the reference schedule.
+    const ref::RefResult ref1 = ref::RefMachine(prog, 1).run();
+    const ref::RefResult ref2 = ref::RefMachine(prog, 0x9e3779b97f4a7c15ULL).run();
+    if (ref1.deadlocked || !ref::ref_results_agree(ref1, ref2)) {
+      std::printf("diff: GENERATOR BUG at program seed %llu\n",
+                  static_cast<unsigned long long>(ps));
+      std::printf(
+          "  two reference schedules disagree (or deadlock) — the program is "
+          "not DRF; fix the generator before trusting any comparison\n");
+      return 1;
+    }
+
+    for (std::uint64_t ss = o.first_schedule; ss < o.first_schedule + o.schedules;
+         ++ss) {
+      for (const ref::Flavor flavor : flavors) {
+        core::MachineConfig cfg = ref::flavor_config(flavor, prog.gen.n_nodes, ss);
+        cfg.wb_fault = fault;
+        cfg.network = network;
+        const ref::Divergence d = ref::diff_one(prog, ref1, flavor, ss, &cfg, o.budget);
+        ++cells;
+        if (!d.found()) continue;
+
+        std::printf("diff: DIVERGENCE\n");
+        std::printf("  flavor=%s program_seed=%llu schedule_seed=%llu nodes=%u\n",
+                    ref::to_string(flavor), static_cast<unsigned long long>(ps),
+                    static_cast<unsigned long long>(ss), o.nodes);
+        std::printf("  %s\n", d.detail.c_str());
+        std::printf(
+            "  replay: bcsim diff --flavors %s --programs 1 --first-program %llu "
+            "--schedules 1 --first-schedule %llu --nodes %u --phases %u --network %s"
+            "%s%s\n",
+            ref::to_string(flavor), static_cast<unsigned long long>(ps),
+            static_cast<unsigned long long>(ss), o.nodes, o.phases,
+            core::to_string(network).data(),
+            o.inject_fault.empty() ? "" : " --inject-fault ", o.inject_fault.c_str());
+        append_corpus(o, flavor, ps, ss);
+
+        // Replay with the event-trace recorder on: the tail of the
+        // interleaving that led to the divergence goes to stderr
+        // (docs/OBSERVABILITY.md).
+        std::printf("  replaying with event tracing enabled...\n");
+        std::fflush(stdout);
+        cfg.trace = true;
+        (void)ref::run_on_machine(prog, cfg, o.budget, &std::cerr);
+        return 1;
+      }
+    }
+  }
+  std::printf("diff: OK (%llu comparisons, every one matched the SC reference)\n",
+              static_cast<unsigned long long>(cells));
+  return 0;
+}
+
+}  // namespace bcsim::tool

@@ -1,0 +1,49 @@
+// `bcsim diff` — the differential-oracle driver (docs/TESTING.md,
+// "Differential testing").
+//
+// Sweeps a (program_seed x schedule_seed) grid: each program seed yields a
+// randomized data-race-free program (ref/drf_program.hpp), executed once on
+// the golden sequentially-consistent reference machine and once per flavor
+// x schedule seed on the full simulator. Any departure — an observed read
+// returning a non-SC value, a final-memory or semaphore-count mismatch, a
+// stuck machine — is a first-divergence report naming node, op, variable,
+// address, block, and tick. The failing case is then replayed with event
+// tracing on, and its seeds are appended to the regression corpus so the
+// test suite replays it forever after.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ref/diff.hpp"
+
+namespace bcsim::tool {
+
+struct DiffOptions {
+  std::vector<ref::Flavor> flavors;  ///< empty = all three
+  std::uint64_t programs = 8;        ///< program seeds swept
+  std::uint64_t schedules = 4;       ///< schedule seeds per program
+  std::uint64_t first_program = 0;
+  std::uint64_t first_schedule = 0;
+  std::uint32_t nodes = 8;
+  std::uint32_t phases = 3;
+  /// Network for the machine runs: "" = the flavor default (omega).
+  /// The mesh's distance-dependent paths widen reorder windows, which is
+  /// what makes the injected flush-gate faults observable.
+  std::string network;
+  /// Corpus file to append divergent seeds to (empty = don't record).
+  std::string corpus;
+  /// Deliberate write-buffer fault (core::WbFault) injected into every
+  /// machine run: "" | "eager-flush" | "empty-gate". Exists to prove the
+  /// oracle catches consistency bugs (docs/TESTING.md).
+  std::string inject_fault;
+  Tick budget = 100'000'000;
+};
+
+/// Runs the sweep. Returns a process exit code: 0 when every cell of the
+/// grid matched the reference, 1 on the first divergence (after printing
+/// the report and replaying with tracing), 2 on bad options.
+int run_diff(const DiffOptions& o);
+
+}  // namespace bcsim::tool
