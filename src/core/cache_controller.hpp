@@ -87,6 +87,14 @@ class CacheController {
   [[nodiscard]] const cache::LockCache& lock_cache() const noexcept { return lock_cache_; }
   [[nodiscard]] const cache::WriteBuffer& write_buffer() const noexcept { return wbuf_; }
 
+  /// Mutable views of the node-local state, for fault-injection tests
+  /// that corrupt the distributed side of a protocol structure to prove
+  /// the invariant checker objects (the directory's mutable_entry is the
+  /// matching surface on the home side). Not used by the protocols.
+  [[nodiscard]] cache::Cache& mutable_data_cache() noexcept { return cache_; }
+  [[nodiscard]] cache::LockCache& mutable_lock_cache() noexcept { return lock_cache_; }
+  [[nodiscard]] cache::WriteBuffer& mutable_write_buffer() noexcept { return wbuf_; }
+
   /// True when no transaction, buffered write, or lock-protocol activity
   /// is outstanding (used by tests to assert quiescence).
   [[nodiscard]] bool quiescent() const noexcept;

@@ -1,0 +1,148 @@
+#include "model/litmus.hpp"
+
+#include <sstream>
+
+namespace bcsim::model {
+
+namespace {
+
+bool is_load(OpKind k) { return k == OpKind::kLoad || k == OpKind::kLoadOnce; }
+
+}  // namespace
+
+std::string validate(const LitmusTest& t) {
+  if (t.threads.empty()) return "litmus '" + t.name + "': no threads";
+  std::size_t barriers0 = 0;
+  for (std::size_t ti = 0; ti < t.threads.size(); ++ti) {
+    std::vector<std::uint32_t> held;
+    std::vector<bool> stores(t.n_locations, false);
+    std::size_t barriers = 0;
+    for (const Op& op : t.threads[ti]) {
+      const bool is_data = op.kind == OpKind::kStore || is_load(op.kind) ||
+                           op.kind == OpKind::kUnsubscribe ||
+                           op.kind == OpKind::kAwait;
+      if (is_data && op.loc >= t.n_locations) {
+        return "litmus '" + t.name + "': thread " + std::to_string(ti) +
+               " references location " + std::to_string(op.loc) + " >= n_locations";
+      }
+      const bool is_lock = op.kind == OpKind::kLock || op.kind == OpKind::kUnlock;
+      if (is_lock && op.loc >= t.n_locks) {
+        return "litmus '" + t.name + "': thread " + std::to_string(ti) +
+               " references lock " + std::to_string(op.loc) + " >= n_locks";
+      }
+      switch (op.kind) {
+        case OpKind::kStore: stores[op.loc] = true; break;
+        case OpKind::kLoadOnce:
+          if (stores[op.loc]) {
+            return "litmus '" + t.name + "': thread " + std::to_string(ti) +
+                   " kLoadOnce's location it stores to (READ-GLOBAL bypasses "
+                   "the write buffer)";
+          }
+          break;
+        case OpKind::kAwait:
+          if (stores[op.loc]) {
+            return "litmus '" + t.name + "': thread " + std::to_string(ti) +
+                   " awaits a location it stores to (vacuous spin)";
+          }
+          break;
+        case OpKind::kLock:
+          for (const std::uint32_t h : held) {
+            if (h == op.loc) {
+              return "litmus '" + t.name + "': thread " + std::to_string(ti) +
+                     " re-acquires a lock it holds";
+            }
+          }
+          held.push_back(op.loc);
+          break;
+        case OpKind::kUnlock: {
+          if (held.empty() || held.back() != op.loc) {
+            return "litmus '" + t.name + "': thread " + std::to_string(ti) +
+                   " releases a lock it does not hold (or out of nesting order)";
+          }
+          held.pop_back();
+          break;
+        }
+        case OpKind::kBarrier: ++barriers; break;
+        default: break;
+      }
+    }
+    if (!held.empty()) {
+      return "litmus '" + t.name + "': thread " + std::to_string(ti) +
+             " exits holding a lock";
+    }
+    if (ti == 0) barriers0 = barriers;
+    if (barriers != barriers0) {
+      return "litmus '" + t.name +
+             "': threads disagree on barrier count (barriers are global episodes)";
+    }
+  }
+  // An await can only terminate if someone actually stores the value.
+  for (const auto& th : t.threads) {
+    for (const Op& op : th) {
+      if (op.kind != OpKind::kAwait) continue;
+      bool stored = false;
+      for (const auto& other : t.threads) {
+        for (const Op& st : other) {
+          if (st.kind == OpKind::kStore && st.loc == op.loc && st.value == op.value) {
+            stored = true;
+          }
+        }
+      }
+      if (!stored) {
+        return "litmus '" + t.name + "': awaited value " + std::to_string(op.value) +
+               " of " + loc_name(op.loc) + " is never stored";
+      }
+    }
+  }
+  // A later kLoad would re-subscribe after kLoadOnce; that is fine. A
+  // store-less test with a barrier is fine too. Nothing else to reject.
+  return "";
+}
+
+std::string loc_name(std::uint32_t loc) {
+  static constexpr char kNames[] = {'x', 'y', 'z', 'w', 'v', 'u'};
+  if (loc < sizeof(kNames)) return std::string(1, kNames[loc]);
+  return "L" + std::to_string(loc);
+}
+
+std::string load_label(const LitmusTest& t, std::size_t i) {
+  std::size_t seen = 0;
+  for (std::size_t ti = 0; ti < t.threads.size(); ++ti) {
+    for (std::size_t oi = 0; oi < t.threads[ti].size(); ++oi) {
+      const Op& op = t.threads[ti][oi];
+      if ((op.kind == OpKind::kLoad || op.kind == OpKind::kLoadOnce) && op.observed) {
+        if (seen == i) {
+          std::ostringstream os;
+          os << 't' << ti << ":Ld " << loc_name(op.loc) << " (op " << oi << ')';
+          return os.str();
+        }
+        ++seen;
+      }
+    }
+  }
+  return "load#" + std::to_string(i);
+}
+
+std::string render_outcome(const LitmusTest& t, const Outcome& o) {
+  std::ostringstream os;
+  std::size_t i = 0;
+  for (std::size_t ti = 0; ti < t.threads.size(); ++ti) {
+    for (const Op& op : t.threads[ti]) {
+      if ((op.kind == OpKind::kLoad || op.kind == OpKind::kLoadOnce) && op.observed) {
+        if (i > 0) os << ' ';
+        os << 't' << ti << ':' << loc_name(op.loc) << '=';
+        os << (i < o.loads.size() ? std::to_string(o.loads[i]) : std::string("?"));
+        ++i;
+      }
+    }
+  }
+  if (i == 0) os << "(no observed loads)";
+  os << " |";
+  for (std::uint32_t l = 0; l < t.n_locations; ++l) {
+    os << ' ' << loc_name(l) << '=';
+    os << (l < o.finals.size() ? std::to_string(o.finals[l]) : std::string("?"));
+  }
+  return os.str();
+}
+
+}  // namespace bcsim::model

@@ -1,0 +1,103 @@
+// Litmus-test IR for the axiomatic buffered-consistency checker.
+//
+// A litmus test is a handful of threads, each a straight-line sequence of
+// operations over a few shared locations (plus locks and barriers). The
+// same IR feeds two interpreters:
+//
+//   * model/bc_model.hpp enumerates every outcome the paper's Buffered
+//     Consistency model allows (the axiomatic side), and
+//   * model/litmus_runner.hpp lowers the test onto a real core::Machine
+//     through the protocol-agnostic access helpers (the operational side),
+//
+// so `bcsim model` can assert that everything the machine does is allowed
+// (soundness) and report how much of the allowed set the schedule sweep
+// reaches (statistical completeness). docs/TESTING.md ("Model
+// conformance") documents the format and workflow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace bcsim::model {
+
+enum class OpKind : std::uint8_t {
+  kStore,        ///< shared store (WRITE-GLOBAL under read-update; buffered under BC)
+  kLoad,         ///< shared load that subscribes (READ-UPDATE under read-update)
+  kLoadOnce,     ///< one-shot shared load (READ-GLOBAL: always the home's value)
+  kFence,        ///< FLUSH-BUFFER: prior stores globally performed before it completes
+  kLock,         ///< mutex acquire (NP-Synch: does not wait for pending writes)
+  kUnlock,       ///< mutex release (CP-Synch: flushes before the release is visible)
+  kBarrier,      ///< global barrier (CP-Synch: flushes before arrival)
+  kUnsubscribe,  ///< RESET-UPDATE (no-op on WBI and in the model)
+  kCompute,      ///< local delay, `loc` cycles (model no-op; machine timing jitter)
+  kAwait,        ///< spin (subscribing) until the location reads `value`
+};
+
+struct Op {
+  OpKind kind = OpKind::kCompute;
+  /// Location index for kStore/kLoad/kLoadOnce/kUnsubscribe, lock index
+  /// for kLock/kUnlock, delay cycles for kCompute; unused otherwise.
+  std::uint32_t loc = 0;
+  Word value = 0;        ///< kStore: stored value; kAwait: value spun for
+  bool observed = true;  ///< kLoad/kLoadOnce: record the value in the outcome
+};
+
+// Terse constructors so a litmus test reads like its paper notation.
+inline Op St(std::uint32_t loc, Word v) { return {OpKind::kStore, loc, v, false}; }
+inline Op Ld(std::uint32_t loc) { return {OpKind::kLoad, loc, 0, true}; }
+/// Unobserved load: subscribes (lengthening the location's delivery chain)
+/// without contributing to the outcome — bystander threads use it.
+inline Op LdQuiet(std::uint32_t loc) { return {OpKind::kLoad, loc, 0, false}; }
+inline Op LdOnce(std::uint32_t loc) { return {OpKind::kLoadOnce, loc, 0, true}; }
+inline Op Fence() { return {OpKind::kFence, 0, 0, false}; }
+inline Op Lock(std::uint32_t lock) { return {OpKind::kLock, lock, 0, false}; }
+inline Op Unlock(std::uint32_t lock) { return {OpKind::kUnlock, lock, 0, false}; }
+inline Op Bar() { return {OpKind::kBarrier, 0, 0, false}; }
+inline Op Unsub(std::uint32_t loc) { return {OpKind::kUnsubscribe, loc, 0, false}; }
+inline Op Compute(std::uint32_t cycles) { return {OpKind::kCompute, cycles, 0, false}; }
+/// Spin until `loc` reads `v` — how a litmus reader waits for a flag. Not
+/// itself observed; it pins the thread's view to a moment the value was
+/// visible, which is what makes the loads after it interesting.
+inline Op Await(std::uint32_t loc, Word v) { return {OpKind::kAwait, loc, v, false}; }
+
+struct LitmusTest {
+  std::string name;         ///< short id (`bcsim model --tests <name>`)
+  std::string description;  ///< one line for reports and the golden table
+  std::uint32_t n_locations = 0;
+  std::uint32_t n_locks = 0;
+  std::vector<std::vector<Op>> threads;  ///< thread t runs on processor t
+};
+
+/// One observable result of a litmus execution: the values every observed
+/// load returned (thread-major, program order within a thread) plus the
+/// final memory value of every location.
+struct Outcome {
+  std::vector<Word> loads;
+  std::vector<Word> finals;
+  auto operator<=>(const Outcome&) const = default;
+};
+
+/// Well-formedness check; returns "" when the test is usable and a
+/// diagnostic otherwise. Enforced rules: indices in range; lock/unlock
+/// properly paired per thread (no releasing a lock the thread does not
+/// hold, none held at thread exit); every thread has the same number of
+/// kBarrier ops (barriers are global episodes); a thread never kLoadOnce's
+/// or kAwaits a location it also stores to (READ-GLOBAL bypasses the
+/// write buffer, and awaiting an own store is vacuous); every kAwait'ed
+/// value is stored by some thread (otherwise the spin cannot terminate).
+[[nodiscard]] std::string validate(const LitmusTest& t);
+
+/// Human name for a location index: "x", "y", "z", "w", "v", "u", then "L<n>".
+[[nodiscard]] std::string loc_name(std::uint32_t loc);
+
+/// Renders one outcome against the test's load labels, e.g.
+/// "t1:Ld y=1 t1:Ld x=0 | x=42 y=1".
+[[nodiscard]] std::string render_outcome(const LitmusTest& t, const Outcome& o);
+
+/// Label of the i-th observed load (thread-major): "t1:Ld y (op 2)".
+[[nodiscard]] std::string load_label(const LitmusTest& t, std::size_t i);
+
+}  // namespace bcsim::model

@@ -1,0 +1,54 @@
+// Lowers a litmus test (model/litmus.hpp) onto a real core::Machine —
+// the operational half of the model-conformance harness.
+//
+// Thread t runs on processor t. Every location gets its own block (so
+// distinct homes and genuinely unordered completions); locks and barriers
+// come from the sync library, so each flavor executes the test through
+// its native primitives. Before the main ops a warmup phase runs: each
+// thread, staggered by its index so the order is deterministic, issues a
+// subscribing read for every location it kLoads (under read-update this
+// builds the update-delivery chains — thread order is subscription order,
+// and the earliest subscriber ends up at the chain's tail, last to be
+// delivered); then all threads rendezvous at a start barrier so no store
+// can race the subscriptions. The warmup is invisible to the model: it
+// reads only the initial zeros and observes nothing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "model/litmus.hpp"
+#include "sim/types.hpp"
+
+namespace bcsim::model {
+
+/// One observed load as the machine performed it.
+struct LitmusLoad {
+  std::uint32_t thread = 0;
+  std::uint32_t op_index = 0;
+  Word value = 0;
+  Tick tick = 0;  ///< simulated cycle at which the load completed
+};
+
+struct LitmusRunResult {
+  bool completed = false;  ///< all threads done and the machine quiescent
+  Tick completion = 0;
+  std::string error;  ///< exception text (budget exhausted, invariant violation)
+  Outcome outcome;    ///< observed loads + final locations (valid when completed)
+  std::vector<LitmusLoad> loads;  ///< thread-major, with completion ticks
+};
+
+/// Runs `t` on a machine built from `cfg` (cfg.n_nodes must be >= the
+/// thread count). Simulation failures are reported in `error`, never
+/// thrown, so the driver can treat "machine stuck" as a divergence with
+/// context. When `trace_tail` is non-null and cfg.trace is on, the newest
+/// trace records are written there after the run (the replay path).
+[[nodiscard]] LitmusRunResult run_litmus(const LitmusTest& t,
+                                         const core::MachineConfig& cfg,
+                                         Tick budget = 100'000'000,
+                                         std::ostream* trace_tail = nullptr);
+
+}  // namespace bcsim::model

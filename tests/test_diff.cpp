@@ -249,13 +249,23 @@ struct CorpusCase {
   std::uint32_t nodes = 8;
   std::uint32_t phases = 3;
   core::NetworkKind network = core::NetworkKind::kOmega;
+  core::WbFault fault = core::WbFault::kNone;  ///< recorded, replayed fault-free
   std::string line;
 };
 
-std::vector<CorpusCase> load_corpus(const std::string& path) {
+/// Parses the corpus. A malformed line is a parse *error*, not a skip —
+/// a typo must fail the replay test loudly instead of silently dropping
+/// the pinned scenario. The optional trailing [fault] column records what
+/// was injected when the cell was caught; replays run fault-free (the
+/// corpus pins the scenario, not the misbehavior).
+std::vector<CorpusCase> load_corpus(const std::string& path,
+                                    std::vector<std::string>& errors) {
   std::vector<CorpusCase> cases;
   std::ifstream in(path);
-  EXPECT_TRUE(in.good()) << "cannot open corpus " << path;
+  if (!in.good()) {
+    errors.push_back("cannot open corpus " + path);
+    return cases;
+  }
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
@@ -263,22 +273,73 @@ std::vector<CorpusCase> load_corpus(const std::string& path) {
     std::string flavor, network;
     CorpusCase c;
     is >> flavor >> c.program_seed >> c.schedule_seed >> c.nodes >> c.phases >> network;
-    EXPECT_FALSE(is.fail()) << "malformed corpus line: " << line;
+    if (is.fail()) {
+      errors.push_back("malformed corpus line: " + line);
+      continue;
+    }
     const auto f = ref::parse_flavor(flavor);
-    EXPECT_TRUE(f.has_value()) << "bad flavor in corpus line: " << line;
-    if (is.fail() || !f) continue;
+    if (!f) {
+      errors.push_back("bad flavor '" + flavor + "' in corpus line: " + line);
+      continue;
+    }
     c.flavor = *f;
-    if (network == "mesh") c.network = core::NetworkKind::kMesh;
+    if (network == "omega") c.network = core::NetworkKind::kOmega;
+    else if (network == "mesh") c.network = core::NetworkKind::kMesh;
     else if (network == "crossbar") c.network = core::NetworkKind::kCrossbar;
     else if (network == "ideal") c.network = core::NetworkKind::kIdeal;
+    else {
+      errors.push_back("bad network '" + network + "' in corpus line: " + line);
+      continue;
+    }
+    std::string fault;
+    if (is >> fault) {
+      if (fault == "eager-flush") c.fault = core::WbFault::kEagerFlush;
+      else if (fault == "empty-gate") c.fault = core::WbFault::kEmptyGate;
+      else {
+        errors.push_back("bad fault '" + fault + "' in corpus line: " + line);
+        continue;
+      }
+      std::string extra;
+      if (is >> extra) {
+        errors.push_back("trailing garbage '" + extra + "' in corpus line: " + line);
+        continue;
+      }
+    }
+    if (c.nodes == 0 || c.phases == 0) {
+      errors.push_back("zero nodes/phases in corpus line: " + line);
+      continue;
+    }
     c.line = line;
     cases.push_back(std::move(c));
   }
   return cases;
 }
 
+TEST(DiffCorpus, ParserRejectsMalformedLines) {
+  const auto parse_one = [](const std::string& text) {
+    const std::string path = ::testing::TempDir() + "/corpus_case.txt";
+    std::ofstream(path) << text << '\n';
+    std::vector<std::string> errors;
+    (void)load_corpus(path, errors);
+    return errors;
+  };
+  EXPECT_TRUE(parse_one("cbl 3 0 16 3 mesh").empty());
+  EXPECT_TRUE(parse_one("ru 1 2 8 3 omega eager-flush").empty());
+  EXPECT_FALSE(parse_one("cbl 3 0 16 3").empty()) << "missing network";
+  EXPECT_FALSE(parse_one("sc 3 0 16 3 mesh").empty()) << "unknown flavor";
+  EXPECT_FALSE(parse_one("cbl 3 0 16 3 toroid").empty()) << "unknown network";
+  EXPECT_FALSE(parse_one("cbl x 0 16 3 mesh").empty()) << "non-numeric seed";
+  EXPECT_FALSE(parse_one("cbl 3 0 16 3 mesh lazy-flush").empty()) << "unknown fault";
+  EXPECT_FALSE(parse_one("cbl 3 0 16 3 mesh eager-flush junk").empty())
+      << "trailing garbage";
+  EXPECT_FALSE(parse_one("cbl 3 0 0 3 mesh").empty()) << "zero nodes";
+}
+
 TEST(DiffCorpus, EveryRecordedDivergenceStaysFixed) {
-  const auto cases = load_corpus(BCSIM_DIFF_CORPUS);
+  std::vector<std::string> errors;
+  const auto cases = load_corpus(BCSIM_DIFF_CORPUS, errors);
+  for (const std::string& e : errors) ADD_FAILURE() << e;
+  ASSERT_TRUE(errors.empty()) << "corpus has malformed lines; fix them first";
   ASSERT_FALSE(cases.empty());
   for (const CorpusCase& c : cases) {
     ref::DrfGenConfig gen;

@@ -4,7 +4,9 @@
 // with a diagnostic naming the offending block, node, and tick.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "sim/invariants.hpp"
 #include "test_util.hpp"
@@ -177,6 +179,262 @@ TEST(Invariants, LevelRoundTrips) {
   EXPECT_EQ(sim::to_string(sim::InvariantLevel::kOff), "off");
   EXPECT_EQ(sim::to_string(sim::InvariantLevel::kQuiesce), "quiesce");
   EXPECT_EQ(sim::to_string(sim::InvariantLevel::kFull), "full");
+}
+
+// ---------------------------------------------------------------------------
+// Every rule fires: one targeted corruption per invariant name. A rule
+// nobody can trigger is a rule that silently rotted; this table is the
+// checker's own regression suite, one row per fail() name in
+// src/sim/invariants.cpp.
+// ---------------------------------------------------------------------------
+
+constexpr Addr kData = 64;  ///< the data block every scenario touches
+
+/// Which healthy quiescent machine the corruption starts from.
+enum class Scenario {
+  kWbiModified,  ///< node 0 wrote kData: block modified, owner 0
+  kWbiShared,    ///< nodes 0 and 1 read kData: block shared by both
+  kRuSub,        ///< paper machine, nodes 0-2 subscribed to block 0
+  kLockHeld,     ///< node 0 acquired the CBL lock and still holds it
+};
+
+/// How the corrupted state is checked: the whole-machine quiescent sweep,
+/// or the entry-local hook alone (for rules the quiescence precondition
+/// would otherwise shadow, e.g. a blocked queue making the directory
+/// non-quiescent before dir-blocked is reached).
+enum class CheckVia { kMachine, kEntryLocal };
+
+struct RuleCase {
+  const char* rule;         ///< fail() name that must appear in what()
+  Scenario scenario;
+  CheckVia via = CheckVia::kMachine;
+  void (*inject)(core::Machine& m, BlockId b, NodeId home);
+};
+
+sim::Task write_once(Processor& p) { co_await p.write(kData, 99); }
+sim::Task read_once(Processor& p) { const Word v = co_await p.read(kData); (void)v; }
+sim::Task subscribe(Processor& p) { const Word v = co_await p.read_update(0); (void)v; }
+sim::Task lock_and_hold(Processor& p) { co_await p.write_lock(kLock); }
+
+core::MachineConfig scenario_config(Scenario s) {
+  switch (s) {
+    case Scenario::kRuSub:
+      return full(test::paper_config(4));
+    case Scenario::kLockHeld: {
+      auto cfg = full(test::small_config(4));
+      cfg.lock_impl = core::LockImpl::kCbl;
+      return cfg;
+    }
+    default: {
+      auto cfg = full(test::small_config(4));
+      cfg.write_buffer_entries = 1;  // bounded: lets a slot waiter park
+      return cfg;
+    }
+  }
+}
+
+/// Runs the scenario's program on `m` to a healthy quiescent state.
+void prepare(core::Machine& m, Scenario s) {
+  switch (s) {
+    case Scenario::kWbiModified: m.spawn(write_once(m.processor(0))); break;
+    case Scenario::kWbiShared:
+      m.spawn(read_once(m.processor(0)));
+      m.spawn(read_once(m.processor(1)));
+      break;
+    case Scenario::kRuSub:
+      for (NodeId i = 0; i < 3; ++i) m.spawn(subscribe(m.processor(i)));
+      break;
+    case Scenario::kLockHeld: m.spawn(lock_and_hold(m.processor(0))); break;
+  }
+  test::run_all(m);
+}
+
+BlockId scenario_block(const core::Machine& m, Scenario s) {
+  return m.address_map().block_of(s == Scenario::kRuSub ? Addr{0}
+                                  : s == Scenario::kLockHeld ? kLock
+                                                             : kData);
+}
+
+/// Picks a word of node `n`'s copy of `b` that is not locally dirty and
+/// perturbs it — the "missed update / lost merge" class of corruption.
+void corrupt_clean_word(core::Machine& m, BlockId b, NodeId n) {
+  cache::CacheLine* l = m.cache_controller(n).mutable_data_cache().find(b);
+  ASSERT_NE(l, nullptr);
+  for (std::uint32_t w = 0; w < m.config().block_words; ++w) {
+    if (!(l->dirty_mask & (1u << w))) {
+      l->data[w] ^= 1;
+      return;
+    }
+  }
+  FAIL() << "no clean word to corrupt";
+}
+
+const RuleCase kRuleCases[] = {
+    {"wbi-sharers", Scenario::kWbiShared, CheckVia::kMachine,
+     [](core::Machine& m, BlockId b, NodeId home) {
+       auto& e = m.directory(home).mutable_entry(b);
+       e.sharers.push_back(e.sharers.front());  // duplicate sharer
+     }},
+    {"wbi-owner", Scenario::kWbiModified, CheckVia::kMachine,
+     [](core::Machine& m, BlockId b, NodeId home) {
+       m.directory(home).mutable_entry(b).owner = 99;  // not a node
+     }},
+    {"wbi-swmr", Scenario::kWbiModified, CheckVia::kMachine,
+     [](core::Machine& m, BlockId b, NodeId home) {
+       m.directory(home).mutable_entry(b).owner = 1;  // forged owner
+     }},
+    {"wbi-acks", Scenario::kWbiModified, CheckVia::kEntryLocal,
+     [](core::Machine& m, BlockId b, NodeId home) {
+       m.directory(home).mutable_entry(b).acks_outstanding = 1;
+     }},
+    {"wbi-merge", Scenario::kWbiModified, CheckVia::kMachine,
+     [](core::Machine& m, BlockId b, NodeId) {
+       corrupt_clean_word(m, b, 0);  // owner's clean word vs memory
+     }},
+    {"dir-blocked", Scenario::kWbiModified, CheckVia::kEntryLocal,
+     [](core::Machine& m, BlockId b, NodeId home) {
+       // A request queued behind a stable entry: the drain was lost.
+       m.directory(home).mutable_entry(b).blocked.push_back(net::Message{});
+     }},
+    {"usage-bit", Scenario::kRuSub, CheckVia::kMachine,
+     [](core::Machine& m, BlockId b, NodeId home) {
+       m.directory(home).mutable_entry(b).usage_lock = true;  // list says RU
+     }},
+    {"ru-list", Scenario::kRuSub, CheckVia::kMachine,
+     [](core::Machine& m, BlockId b, NodeId home) {
+       auto& e = m.directory(home).mutable_entry(b);
+       e.ru_list.push_back(e.ru_list.front());  // duplicate subscriber
+     }},
+    {"ru-link", Scenario::kRuSub, CheckVia::kMachine,
+     [](core::Machine& m, BlockId b, NodeId home) {
+       auto& e = m.directory(home).mutable_entry(b);
+       ASSERT_GE(e.ru_list.size(), 2u);
+       std::swap(e.ru_list[0], e.ru_list[1]);  // mirror order vs cache links
+     }},
+    {"ru-version", Scenario::kRuSub, CheckVia::kMachine,
+     [](core::Machine& m, BlockId b, NodeId home) {
+       m.directory(home).mutable_entry(b).ru_version += 1;  // update never sent
+     }},
+    {"ru-merge", Scenario::kRuSub, CheckVia::kMachine,
+     [](core::Machine& m, BlockId b, NodeId home) {
+       corrupt_clean_word(m, b, m.directory(home).mutable_entry(b).ru_list.front());
+     }},
+    {"ru-orphan", Scenario::kWbiShared, CheckVia::kMachine,
+     [](core::Machine& m, BlockId b, NodeId) {
+       // Update bit with no home-side subscription: updates never arrive.
+       cache::CacheLine* l = m.cache_controller(0).mutable_data_cache().find(b);
+       ASSERT_NE(l, nullptr);
+       l->update_bit = true;
+     }},
+    {"cbl-chain", Scenario::kLockHeld, CheckVia::kMachine,
+     [](core::Machine& m, BlockId b, NodeId) {
+       // Holder's line claims it is still waiting — grant never landed.
+       cache::CacheLine* l = m.cache_controller(0).mutable_lock_cache().find(b);
+       ASSERT_NE(l, nullptr);
+       l->lock = cache::LockState::kWaitWrite;
+     }},
+    {"cbl-holders", Scenario::kLockHeld, CheckVia::kMachine,
+     [](core::Machine& m, BlockId b, NodeId home) {
+       m.directory(home).mutable_entry(b).lock_holders = 0;  // chain, no holder
+     }},
+    {"cbl-tail", Scenario::kLockHeld, CheckVia::kMachine,
+     [](core::Machine& m, BlockId b, NodeId) {
+       // Tail's successor must be nil or the distributed list leaks.
+       cache::CacheLine* l = m.cache_controller(0).mutable_lock_cache().find(b);
+       ASSERT_NE(l, nullptr);
+       l->next = 2;
+     }},
+    {"cbl-writeback", Scenario::kWbiModified, CheckVia::kMachine,
+     [](core::Machine& m, BlockId b, NodeId home) {
+       // Stale data, nobody holding, no writeback running: data lost.
+       m.directory(home).mutable_entry(b).lock_data_stale = true;
+     }},
+    {"cbl-orphan", Scenario::kLockHeld, CheckVia::kMachine,
+     [](core::Machine& m, BlockId b, NodeId home) {
+       auto& e = m.directory(home).mutable_entry(b);
+       e.lock_chain.clear();  // directory forgot the holder entirely
+       e.lock_holders = 0;
+       e.usage_lock = false;
+       e.lock_data_stale = false;
+     }},
+    {"barrier", Scenario::kWbiModified, CheckVia::kMachine,
+     [](core::Machine& m, BlockId b, NodeId home) {
+       m.directory(home).mutable_entry(b).barrier_count = 5;  // no waiters
+     }},
+    {"write-buffer", Scenario::kWbiModified, CheckVia::kMachine,
+     [](core::Machine& m, BlockId, NodeId) {
+       // A lost slot wakeup: two writers parked on the bounded buffer's
+       // one slot, only one woken by the retire that drained it.
+       auto& wb = m.cache_controller(0).mutable_write_buffer();
+       wb.enter();
+       wb.on_slot([] {});
+       wb.on_slot([] {});
+       wb.retire();  // drains the buffer, wakes only the first waiter
+     }},
+    {"lock-cache", Scenario::kWbiModified, CheckVia::kMachine,
+     [](core::Machine& m, BlockId, NodeId) {
+       // A lost capacity wakeup: the cache fills, an acquisition parks,
+       // and no release ever comes.
+       auto& lc = m.cache_controller(0).mutable_lock_cache();
+       BlockId filler = 1000;
+       while (!lc.full()) lc.allocate(filler++);
+       lc.on_slot([] {});
+     }},
+    {"dirty-mask", Scenario::kWbiModified, CheckVia::kMachine,
+     [](core::Machine& m, BlockId b, NodeId) {
+       cache::CacheLine* l = m.cache_controller(0).mutable_data_cache().find(b);
+       ASSERT_NE(l, nullptr);
+       l->dirty_mask |= 1u << m.config().block_words;  // past the block
+     }},
+    {"quiescence", Scenario::kWbiModified, CheckVia::kMachine,
+     [](core::Machine& m, BlockId b, NodeId home) {
+       // An entry stuck busy forever: the transaction's finish was lost.
+       m.directory(home).mutable_entry(b).state = mem::DirState::kBusyRmw;
+     }},
+};
+
+TEST(InvariantRules, EveryRuleFiresUnderTargetedCorruption) {
+  for (const RuleCase& c : kRuleCases) {
+    SCOPED_TRACE(c.rule);
+    core::Machine m(scenario_config(c.scenario));
+    prepare(m, c.scenario);
+    const BlockId b = scenario_block(m, c.scenario);
+    const NodeId home = m.address_map().home_of(b);
+    ASSERT_NO_THROW(m.check_invariants("pre-injection"))
+        << c.rule << ": scenario unhealthy before the corruption";
+    c.inject(m, b, home);
+    if (::testing::Test::HasFatalFailure()) return;
+    try {
+      if (c.via == CheckVia::kEntryLocal) {
+        sim::InvariantChecker(m).check_entry(home, b);
+      } else {
+        m.check_invariants("fault-injection");
+      }
+      FAIL() << c.rule << ": corruption not detected";
+    } catch (const InvariantViolation& v) {
+      EXPECT_NE(std::string(v.what()).find(std::string("[") + c.rule + "]"),
+                std::string::npos)
+          << c.rule << " expected, got: " << v.what();
+      EXPECT_EQ(v.tick, m.simulator().now());
+    }
+  }
+}
+
+/// The table covers the checker: every fail() name in invariants.cpp has
+/// a row above, so a new rule without a firing test shows up here.
+TEST(InvariantRules, TableNamesAreUniqueAndComplete) {
+  std::vector<std::string> names;
+  for (const RuleCase& c : kRuleCases) names.emplace_back(c.rule);
+  std::sort(names.begin(), names.end());
+  EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end())
+      << "duplicate rule row";
+  const std::vector<std::string> expected = {
+      "barrier",    "cbl-chain",   "cbl-holders", "cbl-orphan",  "cbl-tail",
+      "cbl-writeback", "dir-blocked", "dirty-mask", "lock-cache", "quiescence",
+      "ru-link",    "ru-list",     "ru-merge",    "ru-orphan",   "ru-version",
+      "usage-bit",  "wbi-acks",    "wbi-merge",   "wbi-owner",   "wbi-sharers",
+      "wbi-swmr",   "write-buffer"};
+  EXPECT_EQ(names, expected);
 }
 
 }  // namespace

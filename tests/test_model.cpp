@@ -1,0 +1,274 @@
+// Cross-validation of the axiomatic BC checker (src/model/) against the
+// simulator — docs/TESTING.md, "Model conformance".
+//
+// Three layers:
+//   1. the enumerator's axiomatic shape: specific outcomes each litmus
+//      test must allow or forbid (fences restore SC where the paper says
+//      they do, and only there);
+//   2. the pinned golden tables: every allowed set rendered and compared
+//      textually against tests/model_allowed_golden.txt, so any change to
+//      the model's semantics shows up as a diff;
+//   3. soundness in-process: the full battery run on all three machine
+//      flavors over both networks, every observed outcome checked for
+//      membership in the allowed set — and the eager-flush fault shown to
+//      produce a detected violation.
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/battery.hpp"
+#include "model/bc_model.hpp"
+#include "model/litmus.hpp"
+#include "model/litmus_runner.hpp"
+#include "ref/diff.hpp"
+
+namespace bcsim {
+namespace {
+
+using model::LitmusTest;
+using model::Op;
+using model::Outcome;
+
+const LitmusTest& battery_test(const std::string& name) {
+  static const std::vector<LitmusTest> battery = model::litmus_battery();
+  const LitmusTest* t = model::find_litmus(battery, name);
+  if (t == nullptr) throw std::runtime_error("no litmus named " + name);
+  return *t;
+}
+
+/// True when some allowed outcome has exactly these observed load values.
+bool allows_loads(const std::vector<Outcome>& allowed,
+                  const std::vector<Word>& loads) {
+  return std::any_of(allowed.begin(), allowed.end(),
+                     [&](const Outcome& o) { return o.loads == loads; });
+}
+
+// --- layer 1: axiomatic shape ------------------------------------------
+
+TEST(ModelAxioms, StoreBufferingAllowsBothStaleOnlyWithoutFences) {
+  const auto sb = model::enumerate_allowed(battery_test("sb"));
+  EXPECT_TRUE(allows_loads(sb, {0, 0}))
+      << "both stores buffered past both loads is the canonical BC outcome";
+  const auto fenced = model::enumerate_allowed(battery_test("sb-fence"));
+  EXPECT_FALSE(allows_loads(fenced, {0, 0}))
+      << "FLUSH-BUFFER between store and load must restore SC";
+  EXPECT_TRUE(allows_loads(fenced, {1, 0}));
+  EXPECT_TRUE(allows_loads(fenced, {0, 1}));
+  EXPECT_TRUE(allows_loads(fenced, {1, 1}));
+}
+
+TEST(ModelAxioms, MessagePassingFenceForbidsStaleData) {
+  // mp (no fence) may show the flag without the data...
+  const auto mp = model::enumerate_allowed(battery_test("mp"));
+  EXPECT_TRUE(allows_loads(mp, {0}));
+  EXPECT_TRUE(allows_loads(mp, {42}));
+  // ...but a CP-Synch flush between data and flag closes the window: the
+  // reader's Await(y==1) then guarantees x=42.
+  const auto fenced = model::enumerate_allowed(battery_test("mp-fence"));
+  ASSERT_FALSE(fenced.empty());
+  for (const Outcome& o : fenced) {
+    ASSERT_EQ(o.loads.size(), 1u);
+    EXPECT_EQ(o.loads[0], 42u) << "stale data past a fenced flag";
+  }
+}
+
+TEST(ModelAxioms, LoadBufferingForbidden) {
+  // Loads issue in order and stores cannot be read before they are
+  // issued, so lb's (1,1) cycle is impossible.
+  const auto lb = model::enumerate_allowed(battery_test("lb"));
+  EXPECT_FALSE(allows_loads(lb, {1, 1}));
+  EXPECT_TRUE(allows_loads(lb, {0, 0}));
+}
+
+TEST(ModelAxioms, CoherenceReadReadNeverRegresses) {
+  const auto corr = model::enumerate_allowed(battery_test("corr"));
+  EXPECT_FALSE(allows_loads(corr, {1, 0}))
+      << "a thread's view of one location must be monotone";
+  EXPECT_TRUE(allows_loads(corr, {0, 0}));
+  EXPECT_TRUE(allows_loads(corr, {0, 1}));
+  EXPECT_TRUE(allows_loads(corr, {1, 1}));
+}
+
+TEST(ModelAxioms, IriwReadersMayDisagree) {
+  // BC is not multi-copy atomic: the two readers may see the independent
+  // writes in opposite orders, fences or not.
+  for (const char* name : {"iriw", "iriw-fence"}) {
+    const auto a = model::enumerate_allowed(battery_test(name));
+    EXPECT_TRUE(allows_loads(a, {0, 0})) << name;
+  }
+}
+
+TEST(ModelAxioms, TwoLockTransitivePublish) {
+  // t1 reads y==1 under lock 1, so t0's unlock(0) flush happened before:
+  // x must be visible.
+  const auto lt = model::enumerate_allowed(battery_test("lock-two"));
+  EXPECT_FALSE(allows_loads(lt, {1, 0}));
+  EXPECT_TRUE(allows_loads(lt, {1, 1}));
+  EXPECT_TRUE(allows_loads(lt, {0, 0}));
+  EXPECT_TRUE(allows_loads(lt, {0, 1}));
+}
+
+TEST(ModelAxioms, BarrierRestoresSc) {
+  // Barrier arrival flushes and the rendezvous orders every pre-barrier
+  // store before every post-barrier load: SB collapses to (1,1) and the
+  // MP reader must see 7.
+  const auto bsb = model::enumerate_allowed(battery_test("barrier-sb"));
+  ASSERT_EQ(bsb.size(), 1u);
+  EXPECT_EQ(bsb[0].loads, (std::vector<Word>{1, 1}));
+  const auto bmp = model::enumerate_allowed(battery_test("barrier-mp"));
+  ASSERT_EQ(bmp.size(), 1u);
+  EXPECT_EQ(bmp[0].loads, (std::vector<Word>{7}));
+}
+
+TEST(ModelAxioms, ValidateRejectsMalformedTests) {
+  LitmusTest bad{"bad-unlock", "", 1, 1, {{model::Unlock(0)}}};
+  EXPECT_NE(model::validate(bad), "");
+  EXPECT_THROW((void)model::enumerate_allowed(bad), std::invalid_argument);
+
+  LitmusTest never{"bad-await", "", 1, 0,
+                   {{model::St(0, 1)}, {model::Await(0, 9)}}};
+  EXPECT_NE(model::validate(never), "") << "awaited value is never stored";
+
+  LitmusTest uneven{"bad-barrier", "", 1, 0,
+                    {{model::Bar()}, {model::Ld(0)}}};
+  EXPECT_NE(model::validate(uneven), "") << "threads disagree on barrier count";
+}
+
+TEST(ModelAxioms, FirstDivergenceFindsEarliestBadLoad) {
+  const auto& t = battery_test("sb-fence");
+  const auto allowed = model::enumerate_allowed(t);
+  Outcome ok;
+  ok.loads = {1, 0};
+  ok.finals = {1, 1};
+  EXPECT_EQ(model::first_divergence(allowed, ok), -1);
+  Outcome bad;
+  bad.loads = {0, 0};  // second load makes the prefix impossible
+  bad.finals = {1, 1};
+  EXPECT_EQ(model::first_divergence(allowed, bad), 1);
+}
+
+// --- layer 2: pinned golden tables -------------------------------------
+
+TEST(ModelGolden, AllowedSetsMatchPinnedTables) {
+  std::ifstream in(BCSIM_MODEL_GOLDEN);
+  ASSERT_TRUE(in) << "cannot open " << BCSIM_MODEL_GOLDEN;
+  std::stringstream want;
+  want << in.rdbuf();
+
+  std::string got;
+  for (const LitmusTest& t : model::litmus_battery()) {
+    got += model::render_allowed(t, model::enumerate_allowed(t));
+  }
+  EXPECT_EQ(got, want.str())
+      << "model semantics or battery changed; if intentional, regenerate "
+         "with: build/tools/bcsim model --print-allowed > "
+         "tests/model_allowed_golden.txt";
+}
+
+// --- layer 3: soundness against the simulator --------------------------
+
+constexpr std::uint32_t kNodes = 16;
+
+core::MachineConfig sound_cfg(ref::Flavor f, core::NetworkKind net,
+                              std::uint64_t seed) {
+  core::MachineConfig cfg = ref::flavor_config(f, kNodes, seed);
+  cfg.network = net;
+  return cfg;
+}
+
+TEST(ModelSoundness, BatteryObservedSubsetOfAllowed) {
+  // Every flavor x both networks x a few seeds, full battery: each run's
+  // observed outcome must be in the model's allowed set. The deep seed
+  // sweep is the cli_model_smoke / cli_model_sweep ctest entries; this is
+  // the in-process version with a first-divergence diagnosis on failure.
+  for (const LitmusTest& t : model::litmus_battery()) {
+    const auto allowed = model::enumerate_allowed(t);
+    for (const ref::Flavor f : {ref::Flavor::kWbi, ref::Flavor::kRu, ref::Flavor::kCbl}) {
+      for (const core::NetworkKind net :
+           {core::NetworkKind::kOmega, core::NetworkKind::kMesh}) {
+        for (std::uint64_t seed = 0; seed < 3; ++seed) {
+          const auto cfg = sound_cfg(f, net, seed);
+          const auto r = model::run_litmus(t, cfg);
+          ASSERT_TRUE(r.completed)
+              << t.name << " " << ref::to_string(f) << " seed " << seed
+              << ": " << r.error;
+          const int d = model::first_divergence(allowed, r.outcome);
+          EXPECT_TRUE(model::outcome_allowed(allowed, r.outcome))
+              << t.name << " " << ref::to_string(f)
+              << (net == core::NetworkKind::kMesh ? " mesh" : " omega")
+              << " seed " << seed << ": observed "
+              << model::render_outcome(t, r.outcome)
+              << ", first divergence at "
+              << (d >= 0 && d < static_cast<int>(r.loads.size())
+                      ? model::load_label(t, static_cast<std::size_t>(d))
+                      : std::string("finals"));
+        }
+      }
+    }
+  }
+}
+
+TEST(ModelSoundness, RuReachesTheWeakOutcomes) {
+  // Statistical completeness spot-check: under RU (the only BC flavor)
+  // the seed sweep must actually reach the weak outcomes the model
+  // allows — mp's stale read and sb's (0,0). The seed-derived compute
+  // jitter in the runner is what makes this converge; dozens of seeds
+  // over both networks give a comfortable margin (each weak outcome
+  // shows up in roughly 1 in 3 / 1 in 8 RU runs respectively).
+  const auto& mp = battery_test("mp");
+  const auto& sb = battery_test("sb");
+  bool mp_stale = false;
+  bool sb_both_stale = false;
+  for (std::uint64_t seed = 0; seed < 64 && !(mp_stale && sb_both_stale); ++seed) {
+    for (const core::NetworkKind net :
+         {core::NetworkKind::kOmega, core::NetworkKind::kMesh}) {
+      const auto cfg = sound_cfg(ref::Flavor::kRu, net, seed);
+      if (!mp_stale) {
+        const auto r = model::run_litmus(mp, cfg);
+        ASSERT_TRUE(r.completed) << r.error;
+        if (r.outcome.loads == std::vector<Word>{0}) mp_stale = true;
+      }
+      if (!sb_both_stale) {
+        const auto r = model::run_litmus(sb, cfg);
+        ASSERT_TRUE(r.completed) << r.error;
+        if (r.outcome.loads == std::vector<Word>{0, 0}) sb_both_stale = true;
+      }
+    }
+  }
+  EXPECT_TRUE(mp_stale) << "mp never showed the flag-overtakes-data outcome";
+  EXPECT_TRUE(sb_both_stale) << "sb never showed (0,0)";
+}
+
+TEST(ModelSoundness, EagerFlushFaultIsDetected) {
+  // The acceptance-criterion fault: eager-flush completes FLUSH-BUFFER
+  // without the global-perform gate, so mp-fence on the RU mesh shows the
+  // forbidden stale read — and the checker must call it out.
+  const auto& t = battery_test("mp-fence");
+  const auto allowed = model::enumerate_allowed(t);
+  bool caught = false;
+  for (std::uint64_t seed = 0; seed < 8 && !caught; ++seed) {
+    auto cfg = sound_cfg(ref::Flavor::kRu, core::NetworkKind::kMesh, seed);
+    cfg.wb_fault = core::WbFault::kEagerFlush;
+    const auto r = model::run_litmus(t, cfg);
+    if (!r.completed) continue;  // a stuck run is also a detection, but
+                                 // the outcome check is the point here
+    if (!model::outcome_allowed(allowed, r.outcome)) {
+      caught = true;
+      const int d = model::first_divergence(allowed, r.outcome);
+      ASSERT_GE(d, 0);
+      ASSERT_LT(static_cast<std::size_t>(d), r.loads.size());
+      EXPECT_EQ(r.loads[static_cast<std::size_t>(d)].value, 0u)
+          << "the divergent read is the stale data word";
+    }
+  }
+  EXPECT_TRUE(caught)
+      << "eager-flush never produced a model-forbidden outcome in 8 seeds";
+}
+
+}  // namespace
+}  // namespace bcsim

@@ -61,6 +61,18 @@
 // {eager-flush, empty-gate} deliberately breaks the write-buffer flush
 // gate to prove the oracle catches it. Exit 1 on divergence. See
 // docs/TESTING.md, "Differential testing".
+//
+//   bcsim model [--tests a,b,...] [--flavors wbi,ru,cbl]
+//               [--networks omega,mesh] [--seeds N] [--first-seed S]
+//               [--nodes N] [--inject-fault F] [--print-allowed]
+//               [--require-complete] [--budget T]
+//
+// The model-conformance harness: enumerates each litmus test's
+// axiomatically allowed outcome set (src/model/) and sweeps the machine
+// over (flavor x network x schedule seed), asserting every observed
+// outcome is allowed and reporting per-outcome hit counts.
+// --print-allowed dumps the golden allowed-set tables and exits. Exit 1
+// on a soundness violation. See docs/TESTING.md, "Model conformance".
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
@@ -74,6 +86,7 @@
 
 #include "bcsim_bench.hpp"
 #include "bcsim_diff.hpp"
+#include "bcsim_model.hpp"
 #include "core/machine.hpp"
 #include "workload/fft_phases.hpp"
 #include "workload/grid_stencil.hpp"
@@ -234,6 +247,46 @@ tool::DiffOptions parse_diff_args(int argc, char** argv) {
     else if (a == "--inject-fault") o.inject_fault = need(i);
     else if (a == "--budget") o.budget = parse_u64_flag(a, need(i));
     else usage_error("unknown diff flag '" + a + "'");
+  }
+  return o;
+}
+
+tool::ModelOptions parse_model_args(int argc, char** argv) {
+  tool::ModelOptions o;
+  auto need = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  auto split = [](const std::string& list, auto&& each) {
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      const std::size_t comma = list.find(',', pos);
+      each(list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                       : comma - pos));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--tests") {
+      split(need(i), [&](const std::string& name) { o.tests.push_back(name); });
+    } else if (a == "--flavors") {
+      split(need(i), [&](const std::string& name) {
+        const auto f = ref::parse_flavor(name);
+        if (!f) usage_error("unknown flavor '" + name + "' (wbi, ru, cbl)");
+        o.flavors.push_back(*f);
+      });
+    } else if (a == "--networks") {
+      split(need(i), [&](const std::string& name) { o.networks.push_back(name); });
+    } else if (a == "--seeds") o.seeds = parse_u64_flag(a, need(i));
+    else if (a == "--first-seed") o.first_seed = parse_u64_flag(a, need(i));
+    else if (a == "--nodes") o.nodes = parse_u32_flag(a, need(i));
+    else if (a == "--inject-fault") o.inject_fault = need(i);
+    else if (a == "--print-allowed") o.print_allowed = true;
+    else if (a == "--require-complete") o.require_complete = true;
+    else if (a == "--budget") o.budget = parse_u64_flag(a, need(i));
+    else usage_error("unknown model flag '" + a + "'");
   }
   return o;
 }
@@ -800,6 +853,9 @@ int main(int argc, char** argv) {
     }
     if (argc > 1 && std::strcmp(argv[1], "diff") == 0) {
       return tool::run_diff(parse_diff_args(argc, argv));
+    }
+    if (argc > 1 && std::strcmp(argv[1], "model") == 0) {
+      return tool::run_model(parse_model_args(argc, argv));
     }
     const Options o = parse_args(argc, argv);
     return o.check ? run_check(o) : run(o);

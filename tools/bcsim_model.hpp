@@ -1,0 +1,49 @@
+// `bcsim model` — the model-conformance driver (docs/TESTING.md,
+// "Model conformance").
+//
+// For every litmus test in the battery (src/model/battery.hpp) it first
+// enumerates the axiomatically allowed outcome set, then sweeps the real
+// machine over (flavor x network x schedule seed) and checks:
+//
+//   * soundness — every observed outcome is in the allowed set. A
+//     violation reports the test, flavor, network, seed and the first
+//     divergent read, prints a one-cell replay command, and replays with
+//     event tracing on (the diff-driver reporting recipe);
+//   * statistical completeness — per-outcome hit counts across the sweep,
+//     with never-observed outcomes flagged (an unhit outcome is expected
+//     for the SC flavors on weak tests; --require-complete turns unhit
+//     outcomes into a failure for tuned sweeps).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ref/diff.hpp"
+
+namespace bcsim::tool {
+
+struct ModelOptions {
+  std::vector<std::string> tests;    ///< empty = whole battery
+  std::vector<ref::Flavor> flavors;  ///< empty = all three
+  /// Networks to sweep: empty = {omega, mesh} (the mesh's
+  /// distance-dependent paths widen the reorder windows).
+  std::vector<std::string> networks;
+  std::uint64_t seeds = 16;  ///< schedule seeds per (test x flavor x network)
+  std::uint64_t first_seed = 0;
+  std::uint32_t nodes = 16;
+  /// Deliberate write-buffer fault injected into every machine run:
+  /// "" | "eager-flush" | "empty-gate". Proves the checker catches a
+  /// fence omission — eager-flush removes the CP-Synch gate, so fenced
+  /// litmus tests show forbidden outcomes.
+  std::string inject_fault;
+  bool print_allowed = false;    ///< print the golden tables and exit
+  bool require_complete = false; ///< unhit allowed outcomes fail the run
+  Tick budget = 100'000'000;
+};
+
+/// Runs the sweep. Exit code: 0 on success, 1 on a soundness violation
+/// (or unmet --require-complete), 2 on bad options.
+int run_model(const ModelOptions& o);
+
+}  // namespace bcsim::tool
