@@ -1,0 +1,94 @@
+// Sharded-kernel scaling: host wall-clock throughput of the work-queue
+// workload as the shard count grows, at three machine sizes. Feeds the
+// scaling table in docs/BENCHMARKS.md ("Sharded kernel").
+//
+// Every cell first re-verifies the contract that makes the comparison
+// meaningful: the run's stats digest must equal the serial kernel's at the
+// same node count (seed-0 bit-identity), so shard count changes *when the
+// host finishes*, never *what the machine computed*.
+//
+//   bench_shard_scaling [--quick]
+//
+// --quick shrinks the task budget for CI smoke use. Wall-clock numbers are
+// host-dependent (shards beyond the core count buy nothing but window
+// overhead); the digest column is not.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace bcsim;
+using namespace bcsim::bench;
+using Clock = std::chrono::steady_clock;
+
+struct Cell {
+  Tick completion = 0;
+  std::uint64_t digest = 0;
+  double wall_ms = 0;
+};
+
+Cell run_cell(std::uint32_t nodes, std::uint32_t shards, std::uint32_t tasks,
+              std::uint32_t grain) {
+  auto cfg = paper_machine(nodes, core::Consistency::kBuffered);
+  cfg.n_shards = shards;
+  workload::WorkQueueConfig wq;
+  wq.total_tasks = tasks;
+  wq.grain = grain;
+  core::Machine m(cfg);
+  workload::WorkQueueWorkload w(m, wq);
+  w.spawn_all(m);
+  Cell c;
+  const auto t0 = Clock::now();
+  c.completion = m.run(4'000'000'000ULL);
+  c.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  c.digest = m.stats_digest();
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const std::vector<std::uint32_t> nodes = {64, 256, 1024};
+  const std::vector<std::uint32_t> shards = {1, 2, 4, 8};
+  const std::uint32_t grain = quick ? 20 : 100;
+
+  std::printf("Sharded-kernel scaling (work-queue, grain %u%s)\n", grain,
+              quick ? ", quick" : "");
+  std::printf("%-10s %-8s %12s %12s %10s %8s  %s\n", "nodes", "shards", "wall_ms",
+              "Mticks/s", "speedup", "digest", "vs serial");
+
+  bool all_identical = true;
+  for (const std::uint32_t n : nodes) {
+    // Fixed total work per row so the serial column is an honest baseline.
+    const std::uint32_t tasks = quick ? 2 * n : 4 * n;
+    double serial_ms = 0;
+    std::uint64_t serial_digest = 0;
+    for (const std::uint32_t s : shards) {
+      const Cell c = run_cell(n, s, tasks, grain);
+      if (s == 1) {
+        serial_ms = c.wall_ms;
+        serial_digest = c.digest;
+      }
+      const bool identical = c.digest == serial_digest;
+      all_identical = all_identical && identical;
+      std::printf("%-10u %-8u %12.1f %12.2f %9.2fx %08llx  %s\n", n, s, c.wall_ms,
+                  static_cast<double>(c.completion) / c.wall_ms / 1e3,
+                  serial_ms / c.wall_ms,
+                  static_cast<unsigned long long>(c.digest & 0xffffffffull),
+                  identical ? "identical" : "DIVERGED");
+    }
+  }
+  if (!all_identical) {
+    std::printf("\nFAIL: a sharded run diverged from the serial kernel.\n");
+    return 1;
+  }
+  std::printf("\nAll sharded runs bit-identical to the serial kernel (seed 0).\n"
+              "Speedup is host-dependent: it tracks min(shards, free cores).\n");
+  return 0;
+}

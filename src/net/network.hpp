@@ -90,6 +90,19 @@ class Network {
 
   [[nodiscard]] std::uint32_t n_nodes() const noexcept { return n_nodes_; }
 
+  /// Lower bound on the latency of any remote (src != dst) message — the
+  /// sharded kernel's conservative lookahead: no event can create work for
+  /// another shard sooner than this many cycles in the future.
+  [[nodiscard]] virtual Tick min_remote_latency() const noexcept = 0;
+
+  /// Sizes the per-shard send-side resources for the sharded kernel:
+  /// `lanes[s]` is shard s's private stats registry (send counters land
+  /// there, lock-free; the machine folds the lanes after the run) and each
+  /// shard gets a private in-flight message pool. Must be called before
+  /// the first send; without it the network runs in serial mode (one lane
+  /// bound to the main registry).
+  void configure_shards(const std::vector<sim::StatsRegistry*>& lanes);
+
   /// Service time (flits) a message of this size occupies a switch port.
   [[nodiscard]] Tick flits_of(const Message& m) const noexcept;
 
@@ -113,29 +126,45 @@ class Network {
   static constexpr Tick kLocalLatency = 1;
 
  private:
+  /// Per-shard send-side state: counter handles into the shard's lane
+  /// registry (resolved once — the registry lookup used to run per message
+  /// on the simulator's hottest path) plus the lazily filled per-type
+  /// counters. Serial mode has exactly one lane, bound to the main
+  /// registry, so the serial hot path is unchanged.
+  struct SendLane {
+    sim::StatsRegistry* registry = nullptr;
+    sim::Counter* messages = nullptr;
+    sim::Counter* sync = nullptr;
+    sim::Counter* data = nullptr;
+    sim::Counter* local = nullptr;
+    std::array<sim::Counter*, kMsgTypeCount> by_type{};  ///< lazily filled
+  };
+
   void deliver(const Message& m);
   /// Cold path of the per-type counters: registers "net.msg.<type>" on the
-  /// type's first send, so the stats report lists exactly the types a run
-  /// actually produced (as it did when the name was built per message).
-  sim::Counter& register_type_counter(MsgType t);
+  /// type's first send in this lane, so the stats report lists exactly the
+  /// types a run actually produced.
+  static sim::Counter& register_type_counter(SendLane& lane, MsgType t);
+  [[nodiscard]] static SendLane make_lane(sim::StatsRegistry& registry);
+  /// Serial-context remote path (the whole path in the serial kernel; the
+  /// window-barrier replay in the sharded one): charges the remote
+  /// counters, routes against the shared contention state, and schedules
+  /// delivery on the destination's shard.
+  void route_and_deliver(Message msg, Tick send_tick);
 
   std::uint32_t n_nodes_;
-  MessagePool pool_;  ///< in-flight messages (send/deliver hot path)
+  std::vector<MessagePool> pools_;  ///< in-flight messages, one pool per shard
   std::vector<DeliverFn> cache_sinks_;
   std::vector<DeliverFn> memory_sinks_;
+  std::vector<SendLane> lanes_;  ///< [shard]; size 1 in serial mode
 
-  // send() counter/histogram handles, resolved once at construction: the
-  // registry lookup (and the "net.msg." + to_string string build) used to
-  // run per message on the simulator's hottest path.
-  sim::Counter* c_messages_;
-  sim::Counter* c_sync_;
-  sim::Counter* c_data_;
-  sim::Counter* c_local_;
+  // Remote-path handles (main registry): only touched from serial context —
+  // routing is inherently global, so the sharded kernel replays it at the
+  // window barrier.
   sim::Counter* c_remote_;
   sim::Counter* c_flits_;
   sim::Counter* c_contention_;
   sim::Histogram* h_latency_;
-  std::array<sim::Counter*, kMsgTypeCount> c_by_type_{};  ///< lazily filled
 };
 
 /// Ideal network: fixed latency, no contention. Used by unit tests (exact
@@ -145,6 +174,8 @@ class IdealNetwork final : public Network {
   IdealNetwork(sim::Simulator& simulator, sim::StatsRegistry& stats, std::uint32_t n_nodes,
                Tick latency)
       : Network(simulator, stats, n_nodes), latency_(latency) {}
+
+  [[nodiscard]] Tick min_remote_latency() const noexcept override { return latency_; }
 
  protected:
   Tick route(const Message&, Tick now) override { return now + latency_; }
@@ -165,6 +196,12 @@ class OmegaNetwork final : public Network {
  public:
   OmegaNetwork(sim::Simulator& simulator, sim::StatsRegistry& stats, std::uint32_t n_nodes,
                Tick switch_delay = 1);
+
+  /// Every remote message crosses all log2(N) stages; contention and the
+  /// tail flit only add to that.
+  [[nodiscard]] Tick min_remote_latency() const noexcept override {
+    return static_cast<Tick>(stages_) * switch_delay_;
+  }
 
  protected:
   Tick route(const Message& m, Tick now) override;
@@ -193,6 +230,9 @@ class MeshNetwork final : public Network {
   [[nodiscard]] std::uint32_t columns() const noexcept { return cols_; }
   [[nodiscard]] std::uint32_t rows() const noexcept { return rows_; }
 
+  /// A remote message traverses at least one link.
+  [[nodiscard]] Tick min_remote_latency() const noexcept override { return hop_delay_; }
+
  protected:
   Tick route(const Message& m, Tick now) override;
 
@@ -214,6 +254,8 @@ class CrossbarNetwork final : public Network {
  public:
   CrossbarNetwork(sim::Simulator& simulator, sim::StatsRegistry& stats, std::uint32_t n_nodes,
                   Tick latency = 2);
+
+  [[nodiscard]] Tick min_remote_latency() const noexcept override { return latency_; }
 
  protected:
   Tick route(const Message& m, Tick now) override;

@@ -31,6 +31,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <iterator>
@@ -73,12 +74,32 @@ class EventQueue {
   /// the protocols rely on it.
   std::uint64_t push_channel(Tick at, std::uint64_t channel, EventFn fn) {
     const std::uint64_t seq = next_seq_++;
-    const std::uint64_t key =
-        (schedule_seed_ == 0)
-            ? seq
-            : SplitMix64(schedule_seed_ ^ (channel * 0x9e3779b97f4a7c15ULL)).next();
-    insert(at, key, seq, std::move(fn));
+    insert(at, channel_key(channel, seq), seq, std::move(fn));
     return seq;
+  }
+
+  /// Inserts an event under a caller-supplied (key, seq) pair, bypassing the
+  /// internal sequence counter. The sharded kernel (Simulator) uses this to
+  /// key events with globally assigned sequence numbers so a multi-queue
+  /// run reproduces the serial queue's total order; `seq` must be unique
+  /// among pending events. Plain push()/push_channel() must not be mixed
+  /// with push_keyed() on the same queue — their seq spaces would collide.
+  void push_keyed(Tick at, std::uint64_t key, std::uint64_t seq, EventFn fn) {
+    insert(at, key, seq, std::move(fn));
+  }
+
+  /// The key push() would derive for sequence number `seq` under the current
+  /// schedule seed (seq itself at seed 0, a SplitMix64 hash otherwise).
+  [[nodiscard]] std::uint64_t key_for(std::uint64_t seq) const noexcept {
+    return tie_key(seq);
+  }
+
+  /// The key push_channel() would derive for `channel` / `seq`.
+  [[nodiscard]] std::uint64_t channel_key(std::uint64_t channel,
+                                          std::uint64_t seq) const noexcept {
+    return (schedule_seed_ == 0)
+               ? seq
+               : SplitMix64(schedule_seed_ ^ (channel * 0x9e3779b97f4a7c15ULL)).next();
   }
 
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
@@ -86,6 +107,7 @@ class EventQueue {
 
   /// Time of the earliest pending event. Precondition: !empty().
   [[nodiscard]] Tick next_tick() const noexcept {
+    assert(!empty() && "EventQueue::next_tick() on an empty queue");
     if (draining()) {
       const Tick cur = buckets_[cur_bucket_].at;
       return heap_.empty() ? cur : std::min(cur, heap_.front().at);
@@ -95,6 +117,24 @@ class EventQueue {
 
   /// Removes and returns the earliest event. Precondition: !empty().
   [[nodiscard]] std::pair<Tick, EventFn> pop() {
+    auto p = pop_ex();
+    return {p.at, std::move(p.fn)};
+  }
+
+  /// A popped event with its ordering metadata exposed. The sharded kernel
+  /// needs (key, seq) to tell surrogate-keyed in-window events from
+  /// globally sequenced ones when reconstructing the serial order.
+  struct Popped {
+    Tick at;
+    std::uint64_t key;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+
+  /// pop() variant returning the event's (key, seq) alongside the callback.
+  /// Precondition: !empty().
+  [[nodiscard]] Popped pop_ex() {
+    assert(!empty() && "EventQueue::pop() on an empty queue");
     if (draining()) {
       const Tick cur = buckets_[cur_bucket_].at;
       if (heap_.empty() || cur <= heap_.front().at) return take_from_current();
@@ -235,10 +275,10 @@ class EventQueue {
     }
   }
 
-  std::pair<Tick, EventFn> take_from_current() {
+  Popped take_from_current() {
     Bucket& b = buckets_[cur_bucket_];
-    const Tick at = b.at;
-    EventFn fn = std::move(b.events[cur_pos_].fn);
+    Event& e = b.events[cur_pos_];
+    Popped p{b.at, e.key, e.seq, std::move(e.fn)};
     ++cur_pos_;
     --size_;
     if (cur_pos_ == b.events.size()) {
@@ -246,7 +286,7 @@ class EventQueue {
       cur_bucket_ = kNoBucket;
       cur_pos_ = 0;
     }
-    return {at, std::move(fn)};
+    return p;
   }
 
   /// Re-queues a part-drained bucket (an earlier tick was pushed mid-drain —

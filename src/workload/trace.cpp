@@ -188,7 +188,7 @@ sim::Task TraceWorkload::run(Processor& p, const std::vector<TraceRecord>& strea
 void TraceWorkload::spawn_all(Machine& machine) {
   for (NodeId i = 0; i < machine.n_nodes(); ++i) {
     if (!streams_[i].empty()) {
-      machine.spawn(run(machine.processor(i), streams_[i]));
+      machine.spawn_on(i, run(machine.processor(i), streams_[i]));
     }
   }
 }

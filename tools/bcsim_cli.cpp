@@ -9,6 +9,8 @@
 //
 // Flags (defaults in brackets):
 //   --nodes N            processors [16]
+//   --shards N           host-parallel simulation shards; 1 = serial
+//                        reference kernel [$BCSIM_SHARDS or 1]
 //   --machine M          paper | wbi | cbl-on-wbi [paper]
 //   --consistency C      sc | bc (paper machine only) [bc]
 //   --lock L             cbl | tts | tts-backoff | ticket | mcs [per machine]
@@ -101,6 +103,7 @@ namespace {
 
 struct Options {
   std::uint32_t nodes = 16;
+  std::uint32_t shards = core::default_n_shards();
   std::string machine = "paper";
   std::string consistency = "bc";
   std::string lock;
@@ -173,6 +176,10 @@ Options parse_args(int argc, char** argv) {
   for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--nodes") o.nodes = parse_u32_flag(a, need(i));
+    else if (a == "--shards") {
+      o.shards = parse_u32_flag(a, need(i));
+      if (o.shards == 0) usage_error("--shards must be >= 1");
+    }
     else if (a == "--machine") o.machine = need(i);
     else if (a == "--consistency") o.consistency = need(i);
     else if (a == "--lock") o.lock = need(i);
@@ -325,6 +332,7 @@ core::NetworkKind parse_network(const std::string& s) {
 core::MachineConfig build_config(const Options& o) {
   core::MachineConfig cfg;
   cfg.n_nodes = o.nodes;
+  cfg.n_shards = o.shards;
   cfg.block_words = o.block_words;
   cfg.network = parse_network(o.network);
   cfg.seed = o.seed;
@@ -392,7 +400,7 @@ CaseResult case_lock_counter(const core::MachineConfig& cfg) {
       }
     }
   } prog{lock};
-  for (NodeId i = 0; i < cfg.n_nodes; ++i) m.spawn(prog(m.processor(i)));
+  for (NodeId i = 0; i < cfg.n_nodes; ++i) m.spawn_on(i, prog(m.processor(i)));
   CaseResult r;
   r.completion = m.run(kCheckBudget);
   r.messages = m.stats().counter_value("net.messages");
@@ -443,8 +451,8 @@ CaseResult case_rw_lock(const core::MachineConfig& cfg) {
   };
   bool torn = false;
   Reader reader{lock, torn};
-  m.spawn(writer(m.processor(0)));
-  for (NodeId i = 1; i < cfg.n_nodes; ++i) m.spawn(reader(m.processor(i)));
+  m.spawn_on(0, writer(m.processor(0)));
+  for (NodeId i = 1; i < cfg.n_nodes; ++i) m.spawn_on(i, reader(m.processor(i)));
   CaseResult r;
   r.completion = m.run(kCheckBudget);
   r.messages = m.stats().counter_value("net.messages");
@@ -505,8 +513,8 @@ CaseResult case_message_passing(const core::MachineConfig& cfg) {
       seen = ru ? co_await p.read_update(data) : co_await p.read(data);
     }
   } reader{data, flag, ru, seen};
-  m.spawn(writer(m.processor(0)));
-  m.spawn(reader(m.processor(cfg.n_nodes - 1)));
+  m.spawn_on(0, writer(m.processor(0)));
+  m.spawn_on(cfg.n_nodes - 1, reader(m.processor(cfg.n_nodes - 1)));
   // A couple of bystander subscribers/sharers lengthen the delivery chains.
   struct Bystander {
     Addr data;
@@ -520,7 +528,7 @@ CaseResult case_message_passing(const core::MachineConfig& cfg) {
     }
   } bystander{data, ru};
   for (NodeId i = 1; i + 1 < cfg.n_nodes && i <= 2; ++i) {
-    m.spawn(bystander(m.processor(i)));
+    m.spawn_on(i, bystander(m.processor(i)));
   }
   CaseResult r;
   r.completion = m.run(kCheckBudget);
@@ -556,7 +564,7 @@ CaseResult case_barrier_phases(const core::MachineConfig& cfg) {
       sums[p.id()] = s;
     }
   } prog{bar, base, n, sums};
-  for (NodeId i = 0; i < n; ++i) m.spawn(prog(m.processor(i)));
+  for (NodeId i = 0; i < n; ++i) m.spawn_on(i, prog(m.processor(i)));
   CaseResult r;
   r.completion = m.run(kCheckBudget);
   r.messages = m.stats().counter_value("net.messages");
@@ -644,7 +652,7 @@ CaseResult case_fuzz(const core::MachineConfig& cfg) {
       co_await p.flush_buffer();
     }
   } prog{{0, 16, 32}, 60, ru};
-  for (NodeId i = 0; i < cfg.n_nodes; ++i) m.spawn(prog(m.processor(i)));
+  for (NodeId i = 0; i < cfg.n_nodes; ++i) m.spawn_on(i, prog(m.processor(i)));
   CaseResult r;
   r.completion = m.run(kCheckBudget);
   r.messages = m.stats().counter_value("net.messages");
